@@ -1,0 +1,89 @@
+// Command replay re-times a recorded execution trace under a different
+// network — the Extrae -> DIMEMAS workflow of Sec. III-B.4 as a pair of
+// command-line tools:
+//
+//	clustersim -workload tealeaf3d -trace run.trace
+//	replay -in run.trace                 # summary + efficiency decomposition
+//	replay -in run.trace -net ideal      # the ideal-network what-if
+//	replay -in run.trace -bw 1.25e9 -lat 5e-6   # a hypothetical NIC
+//	replay -in run.trace -ideal-lb       # perfectly balanced load
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"clustersoc/internal/dimemas"
+	"clustersoc/internal/network"
+	"clustersoc/internal/trace"
+	"clustersoc/internal/units"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "trace file written by clustersim -trace")
+		netArg   = flag.String("net", "10g", "replay network: 1g, 10g, ideal, or custom via -bw/-lat")
+		bw       = flag.Float64("bw", 0, "custom bandwidth, bytes/second (overrides -net)")
+		lat      = flag.Float64("lat", 0, "custom one-way latency, seconds (with -bw)")
+		idealLB  = flag.Bool("ideal-lb", false, "rescale each phase's compute to the mean (LB = 1)")
+		buses    = flag.Int("buses", 0, "DIMEMAS bus-contention limit (0 = contention-free model)")
+		timeline = flag.Bool("timeline", false, "render a PARAVER-style per-rank activity view of the measured run")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "replay: -in is required")
+		os.Exit(2)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "replay:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	t, err := trace.Read(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "replay:", err)
+		os.Exit(1)
+	}
+
+	s := t.Summarize()
+	fmt.Printf("trace: %d ranks, %d ops, %d messages (%s), measured runtime %s\n",
+		s.Ranks, s.Ops, s.Messages, units.Bytes(s.Bytes), units.Seconds(s.Runtime))
+
+	model := dimemas.NetworkModel{
+		IntraBandwidth: network.MemoryPathBandwidth,
+		IntraLatency:   network.MemoryPathLatency,
+	}
+	switch {
+	case *bw > 0:
+		model.Name = "custom"
+		model.Bandwidth = *bw
+		model.Latency = *lat
+	case *netArg == "ideal":
+		model = dimemas.IdealNetwork
+	case *netArg == "1g":
+		model.Name, model.Bandwidth, model.Latency = "1GbE", network.GigE.Throughput, network.GigE.Latency
+	default:
+		model.Name, model.Bandwidth, model.Latency = "10GbE", network.TenGigE.Throughput, network.TenGigE.Latency
+	}
+
+	replayed := dimemas.Replay(t, dimemas.Options{Net: model, IdealLoadBalance: *idealLB, Buses: *buses})
+	fmt.Printf("replayed on %s", model.Name)
+	if *buses > 0 {
+		fmt.Printf(" (%d buses)", *buses)
+	}
+	if *idealLB {
+		fmt.Print(" with ideal load balance")
+	}
+	fmt.Printf(": %s  (%.2fx vs measured)\n", units.Seconds(replayed), s.Runtime/replayed)
+
+	e := dimemas.Decompose(t)
+	fmt.Printf("\nefficiency decomposition of the measured run:\n")
+	fmt.Printf("  LB = %.3f   Ser = %.3f   Trf = %.3f   eta = %.3f\n", e.LB, e.Ser, e.Trf, e.Eta)
+
+	if *timeline {
+		fmt.Println()
+		fmt.Print(t.Timeline(72))
+	}
+}

@@ -1,0 +1,58 @@
+// Command scalability runs the Sec. III-B.4 strong-scaling methodology
+// for one workload: trace runs across cluster sizes, fit and extrapolate
+// the speedup curve, and decompose the parallel efficiency into
+// eta = LB * Ser * Trf with ideal-network / ideal-load-balance replays.
+//
+//	scalability -workload tealeaf3d
+//	scalability -workload ft -net 1g -extrapolate 128
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"clustersoc/internal/core"
+)
+
+func main() {
+	var (
+		workload    = flag.String("workload", "hpl", "workload to study")
+		netArg      = flag.String("net", "10g", "network: 1g or 10g")
+		scale       = flag.Float64("scale", 0.08, "problem scale")
+		extrapolate = flag.Int("extrapolate", 64, "extrapolate the fitted curve to this many nodes")
+	)
+	flag.Parse()
+
+	net := core.TenGigE
+	if *netArg == "1g" {
+		net = core.GigE
+	}
+	sizes := []int{1, 2, 4, 6, 8}
+	res, err := core.Scalability(core.TX1(8, net), *workload, sizes, *scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("strong scaling of %s on the TX1 cluster (%s)\n\n", *workload, *netArg)
+	fmt.Println("  nodes   runtime(s)   speedup")
+	for i, n := range res.Nodes {
+		fmt.Printf("  %5d   %10.3f   %7.2f\n", n, res.Runtimes[i], res.Speedups[i])
+	}
+	fmt.Printf("\nfit: T(P) = %.3g + %.3g/P + %.3g ln P   (r2 = %.3f)\n",
+		res.Fit.A, res.Fit.B, res.Fit.C, res.Fit.R2)
+	fmt.Println("\n  extrapolated speedups:")
+	for _, p := range []int{8, 16, 32, *extrapolate} {
+		fmt.Printf("  %5d nodes: %6.2f\n", p, res.Fit.Speedup(p))
+	}
+	e := res.Efficiency
+	fmt.Printf("\nefficiency decomposition at 8 nodes (eta = LB x Ser x Trf):\n")
+	fmt.Printf("  LB  (load balance)   %.3f\n", e.LB)
+	fmt.Printf("  Ser (serialization)  %.3f\n", e.Ser)
+	fmt.Printf("  Trf (data transfer)  %.3f\n", e.Trf)
+	fmt.Printf("  eta                  %.3f\n", e.Eta)
+	fmt.Printf("\nwhat-if replays at 8 nodes:\n")
+	fmt.Printf("  ideal network would speed the run up %.2fx\n", res.IdealNetworkGain)
+	fmt.Printf("  ideal load balance would speed it up %.2fx\n", res.IdealLoadBalanceGain)
+}

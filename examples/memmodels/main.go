@@ -1,0 +1,50 @@
+// CUDA memory-management models on an integrated-GPU SoC (Sec. III-B.5 /
+// Table III): run the jacobi solver under host-and-device copies,
+// zero-copy, and unified memory, and show the TX1's zero-copy cache
+// bypass destroying performance while unified memory matches explicit
+// copies.
+//
+//	go run ./examples/memmodels
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"clustersoc/internal/core"
+	"clustersoc/internal/cuda"
+	"clustersoc/internal/units"
+)
+
+func main() {
+	const scale = 0.08
+	spec := core.TX1(8, core.TenGigE)
+
+	fmt.Println("jacobi on the 8-node TX1 cluster under the three CUDA memory models")
+	fmt.Printf("%-16s %10s %10s %14s %14s\n", "model", "runtime", "L2 util", "L2 read rate", "mem stalls")
+
+	var base float64
+	for _, model := range []cuda.MemModel{cuda.HostDevice, cuda.ZeroCopy, cuda.Unified} {
+		res, err := core.RunWithMemModel(spec, "jacobi", scale, model)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if model == cuda.HostDevice {
+			base = res.Runtime
+		}
+		fmt.Printf("%-16s %10s %9.0f%% %14s %13.0f%%\n",
+			model.String(),
+			units.Seconds(res.Runtime),
+			100*res.GPU.L2Utilization(),
+			units.Rate(res.GPU.L2ReadThroughput()),
+			100*res.GPU.MemoryStallFraction())
+		if model == cuda.ZeroCopy {
+			fmt.Printf("%16s zero-copy runs %.1fx slower: the TX1 bypasses the GPU cache\n",
+				"", res.Runtime/base)
+			fmt.Printf("%16s hierarchy on zero-copy mappings to stay coherent\n", "")
+		}
+	}
+
+	fmt.Println("\nUnified memory keeps the cache hierarchy (and the programmer's sanity):")
+	fmt.Println("it migrates pages transparently at essentially host-and-device cost.")
+}

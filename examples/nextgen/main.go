@@ -1,0 +1,64 @@
+// Next-generation what-if: the companion thesis (Fox, 2017) moves the
+// proposed cluster from Jetson TX1 to Jetson TX2 boards — faster Pascal
+// SMs, double the memory bandwidth, the same board-power class. This
+// example re-runs representative workloads on the TX2 configuration, and
+// answers the scheduling question the paper defers (Sec. III-B.6) with
+// the hetsched package: a dynamic task queue finds the optimal CPU:GPU
+// split that the Fig. 7 sweep searched for by hand.
+//
+//	go run ./examples/nextgen
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"clustersoc/internal/core"
+	"clustersoc/internal/hetsched"
+	"clustersoc/internal/soc"
+	"clustersoc/internal/units"
+)
+
+func main() {
+	const scale = 0.15
+
+	fmt.Println("== TX1 -> TX2: the proposed organization, one generation later")
+	fmt.Printf("%-11s %12s %12s %9s\n", "workload", "8x TX1", "8x TX2", "speedup")
+	for _, w := range []string{"hpl", "jacobi", "tealeaf3d", "googlenet"} {
+		tx1, err := core.Run(core.TX1(8, core.TenGigE), w, scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tx2, err := core.Run(core.TX2(8, core.TenGigE), w, scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-11s %12s %12s %8.2fx\n", w,
+			units.Seconds(tx1.Runtime), units.Seconds(tx2.Runtime), tx1.Runtime/tx2.Runtime)
+	}
+
+	fmt.Println("\n== Heterogeneous scheduling: static sweep vs dynamic task queue")
+	node := soc.JetsonTX1()
+	engines := []hetsched.Engine{
+		{Name: "gpu", Flops: node.GPU.PeakFP64() * node.GPU.Efficiency},
+		{Name: "cpu-core", Flops: 1.5e9},
+	}
+	total := 1e12 // one node's share of an hpl-sized update
+	fmt.Printf("%-22s %10s\n", "schedule", "makespan")
+	for _, ratio := range []float64{1.0, 0.9, 0.7, 0.5} {
+		res, err := hetsched.Static(engines, total, []float64{ratio, 1 - ratio})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("static GPU ratio %.1f    %10s\n", ratio, units.Seconds(res.Makespan))
+	}
+	opt, _ := hetsched.Static(engines, total, hetsched.OptimalFraction(engines))
+	fmt.Printf("static optimal         %10s  (GPU fraction %.3f)\n",
+		units.Seconds(opt.Makespan), hetsched.OptimalFraction(engines)[0])
+	dyn := hetsched.Dynamic(engines, hetsched.SplitTasks(total, 512))
+	fmt.Printf("dynamic task queue     %10s  (no speeds known in advance)\n",
+		units.Seconds(dyn.Makespan))
+	fmt.Println("\nThe greedy queue lands on the optimal split automatically — the")
+	fmt.Println("scheduling answer behind Fig. 7's observation that collocated CPU+GPU")
+	fmt.Println("execution improves energy efficiency.")
+}

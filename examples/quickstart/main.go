@@ -1,0 +1,43 @@
+// Quickstart: build the paper's proposed cluster — eight Jetson TX1
+// boards on 10 GbE — run High Performance Linpack on it, and print the
+// numbers the paper's Table IV reports: throughput and energy efficiency.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"clustersoc/internal/core"
+	"clustersoc/internal/units"
+)
+
+func main() {
+	// The proposed organization: mobile-class ARM SoCs with integrated
+	// GPGPUs, upgraded from the stock 1 GbE to 10 GbE NICs.
+	spec := core.TX1(8, core.TenGigE)
+
+	// Run hpl at a quarter of the paper's problem size (the shapes are
+	// scale-invariant; 1.0 reproduces N = 20480).
+	res, err := core.Run(spec, "hpl", 0.25)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("High Performance Linpack on", spec.Name)
+	fmt.Printf("  runtime:            %s\n", units.Seconds(res.Runtime))
+	fmt.Printf("  throughput:         %s\n", units.Flops(res.Throughput))
+	fmt.Printf("  average power:      %.1f W\n", res.AvgPowerWatts)
+	fmt.Printf("  energy efficiency:  %.1f MFLOPS/W\n", res.MFLOPSPerWatt())
+	fmt.Printf("  network traffic:    %s\n", units.Bytes(res.NetBytes))
+
+	// The same run on the stock 1 GbE shows why the paper upgrades the
+	// network.
+	slow, err := core.Run(core.TX1(8, core.GigE), "hpl", 0.25)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwith the stock 1 GbE the same run takes %s — the 10 GbE NICs buy a %.2fx speedup\n",
+		units.Seconds(slow.Runtime), slow.Runtime/res.Runtime)
+}

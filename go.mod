@@ -1,0 +1,3 @@
+module clustersoc
+
+go 1.22

@@ -1,0 +1,211 @@
+package apps
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"clustersoc/internal/kernels"
+	"clustersoc/internal/minimpi"
+)
+
+// Distributed Jacobi performs exactly the serial sweeps: halo rows carry
+// the neighbour's previous iterate, which is what the serial grid reads,
+// so the fields must match bit-for-bit.
+func TestDistributedJacobiMatchesSerial(t *testing.T) {
+	n, iters := 32, 40
+	h := 1.0 / float64(n+1)
+	f := kernels.NewGrid2D(n, n)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			f.Set(i, j, rng.NormFloat64())
+		}
+	}
+	// Serial reference: the same number of sweeps.
+	u := kernels.NewGrid2D(n, n)
+	v := kernels.NewGrid2D(n, n)
+	for it := 0; it < iters; it++ {
+		kernels.JacobiStep(v, u, f, h)
+		u, v = v, u
+	}
+	for _, ranks := range []int{1, 2, 4, 8} {
+		got := DistributedJacobi(minimpi.NewWorld(ranks), f, h, iters)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if got.At(i, j) != u.At(i, j) {
+					t.Fatalf("ranks=%d: (%d,%d) = %v, serial %v", ranks, i, j, got.At(i, j), u.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+// Distributed CG must solve the same system the serial CG solves: check
+// the residual of the distributed solution under the serial operator.
+func TestDistributedCGSolvesSystem(t *testing.T) {
+	n := 24
+	tau := 0.3
+	b := make([]float64, n*n)
+	rng := rand.New(rand.NewSource(7))
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	op := &kernels.HeatOperator2D{NX: n, NY: n, Tau: tau}
+	for _, ranks := range []int{1, 2, 4, 6} {
+		if n%ranks != 0 {
+			continue
+		}
+		x, iters := DistributedCG(minimpi.NewWorld(ranks), b, n, tau, 1e-10, 500)
+		if iters >= 500 {
+			t.Fatalf("ranks=%d: CG did not converge", ranks)
+		}
+		ax := make([]float64, n*n)
+		op.Apply(ax, x)
+		worst := 0.0
+		for i := range ax {
+			if d := math.Abs(ax[i] - b[i]); d > worst {
+				worst = d
+			}
+		}
+		if worst > 1e-7 {
+			t.Fatalf("ranks=%d: residual %v", ranks, worst)
+		}
+	}
+}
+
+// The distributed transpose-FFT must match the serial 2D FFT exactly
+// (same butterflies, same order — only the data placement differs).
+func TestDistributedFFTMatchesSerial(t *testing.T) {
+	nx, ny := 16, 32
+	data := make([]complex128, nx*ny)
+	rng := rand.New(rand.NewSource(3))
+	for i := range data {
+		data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	want := append([]complex128(nil), data...)
+	if err := kernels.FFT2D(want, nx, ny, false); err != nil {
+		t.Fatal(err)
+	}
+	for _, ranks := range []int{1, 2, 4, 8} {
+		got, err := DistributedFFT2D(minimpi.NewWorld(ranks), data, nx, ny, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if d := cmplxAbs(got[i] - want[i]); d > 1e-9 {
+				t.Fatalf("ranks=%d: element %d differs by %v", ranks, i, d)
+			}
+		}
+	}
+}
+
+func cmplxAbs(c complex128) float64 {
+	return math.Hypot(real(c), imag(c))
+}
+
+func TestDistributedFFTRoundTrip(t *testing.T) {
+	nx, ny := 16, 16
+	data := make([]complex128, nx*ny)
+	for i := range data {
+		data[i] = complex(float64(i%13), float64(i%7))
+	}
+	fw, err := DistributedFFT2D(minimpi.NewWorld(4), data, nx, ny, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw, err := DistributedFFT2D(minimpi.NewWorld(4), fw, nx, ny, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if cmplxAbs(bw[i]-data[i]) > 1e-9 {
+			t.Fatalf("round trip broke at %d", i)
+		}
+	}
+}
+
+func TestDistributedFFTRejectsBadShapes(t *testing.T) {
+	if _, err := DistributedFFT2D(minimpi.NewWorld(3), make([]complex128, 16*16), 16, 16, false); err == nil {
+		t.Fatal("16x16 over 3 ranks should be rejected")
+	}
+	if _, err := DistributedFFT2D(minimpi.NewWorld(2), make([]complex128, 10), 4, 4, false); err == nil {
+		t.Fatal("size mismatch should be rejected")
+	}
+}
+
+func TestDistributedBucketSort(t *testing.T) {
+	const maxKey = 1 << 14
+	keys := kernels.NewNPBRandom(314159265).Keys(20000, maxKey)
+	want := kernels.BucketSort(keys, maxKey, 8) // serial reference
+	for _, ranks := range []int{1, 2, 4, 7} {
+		got := DistributedBucketSort(minimpi.NewWorld(ranks), keys, maxKey)
+		if len(got) != len(want) {
+			t.Fatalf("ranks=%d: %d keys out, want %d", ranks, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("ranks=%d: key %d = %d, want %d", ranks, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestDistributedEP(t *testing.T) {
+	res := DistributedEP(minimpi.NewWorld(4), 20000)
+	if res.Pairs == 0 {
+		t.Fatal("no pairs generated")
+	}
+	var sum int64
+	for _, c := range res.Counts {
+		sum += c
+	}
+	if sum != res.Pairs {
+		t.Fatalf("counts %d != pairs %d", sum, res.Pairs)
+	}
+	// Acceptance ratio ~ pi/4 over the aggregate.
+	accept := float64(res.Pairs) / (4 * 20000)
+	if math.Abs(accept-math.Pi/4) > 0.02 {
+		t.Fatalf("acceptance %v", accept)
+	}
+	// Determinism (fixed per-rank seeds).
+	again := DistributedEP(minimpi.NewWorld(4), 20000)
+	if again != res {
+		t.Fatal("distributed EP not deterministic")
+	}
+}
+
+// Distributed GUPS must equal a serial replay of the same update streams:
+// xor updates commute, so bucketing and exchange order cannot matter.
+func TestDistributedGUPSMatchesSerialReplay(t *testing.T) {
+	const (
+		logSize = 12
+		perRank = 4000
+		windows = 4
+	)
+	serial := func(ranks int) []uint64 {
+		size := 1 << logSize
+		table := make([]uint64, size)
+		for i := range table {
+			table[i] = uint64(i)
+		}
+		for r := 0; r < ranks; r++ {
+			ran := hpccSeed(r)
+			n := (perRank / windows) * windows // what the windows actually apply
+			for i := 0; i < n; i++ {
+				ran = hpccAdvance(ran)
+				table[int(ran&uint64(size-1))] ^= ran
+			}
+		}
+		return table
+	}
+	for _, ranks := range []int{1, 2, 4, 8} {
+		got := DistributedGUPS(minimpi.NewWorld(ranks), logSize, perRank, windows)
+		want := serial(ranks)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("ranks=%d: table[%d] = %x, want %x", ranks, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,285 @@
+package apps
+
+import (
+	"math"
+
+	"clustersoc/internal/kernels"
+	"clustersoc/internal/minimpi"
+)
+
+// DistributedLU factors an n x n matrix with partial pivoting across the
+// world's ranks, columns distributed cyclically (hpl's layout with block
+// size 1): at each elimination step the owner factors its column, then
+// broadcasts the pivot index and the scaled column, and every rank swaps
+// and updates the columns it owns — the panel-broadcast + trailing-update
+// structure the hpl workload model charges the simulator for.
+//
+// It returns the packed LU factors (L below the unit diagonal, U on and
+// above) and the pivot vector, assembled on every caller, matching
+// kernels.Factor bit-for-bit because the pivot rule and per-element
+// arithmetic are identical.
+func DistributedLU(w *minimpi.World, a *kernels.Matrix) (*kernels.Matrix, []int) {
+	n := a.Rows
+	p := w.Size()
+	packed := kernels.NewMatrix(n, n)
+	piv := make([]int, n)
+
+	w.Run(func(r *minimpi.Rank) {
+		// Local copy of owned columns: col j lives on rank j % p.
+		mine := map[int][]float64{}
+		for j := r.ID; j < n; j += p {
+			col := make([]float64, n)
+			for i := 0; i < n; i++ {
+				col[i] = a.At(i, j)
+			}
+			mine[j] = col
+		}
+
+		for k := 0; k < n; k++ {
+			owner := k % p
+			// payload = [pivotIndex, column values k..n-1 (scaled)]
+			var payload []float64
+			if r.ID == owner {
+				col := mine[k]
+				// Partial pivoting: strictly-greater rule, exactly as
+				// kernels.Factor chooses.
+				pk := k
+				max := math.Abs(col[k])
+				for i := k + 1; i < n; i++ {
+					if v := math.Abs(col[i]); v > max {
+						max, pk = v, i
+					}
+				}
+				col[k], col[pk] = col[pk], col[k]
+				pivot := col[k]
+				for i := k + 1; i < n; i++ {
+					col[i] /= pivot
+				}
+				payload = make([]float64, 1+n-k)
+				payload[0] = float64(pk)
+				copy(payload[1:], col[k:])
+			}
+			payload = r.Bcast(owner, 3000+k, payload)
+			pk := int(payload[0])
+			colK := payload[1:] // col[k..n-1] after swap+scale
+
+			// Apply the row swap to every owned column (the serial code
+			// swaps whole rows, including the already-factored L part),
+			// then the rank-1 update to the trailing columns only.
+			for j, col := range mine {
+				if j == k {
+					continue // the owner already swapped within column k
+				}
+				col[k], col[pk] = col[pk], col[k]
+				if j < k {
+					continue
+				}
+				akj := col[k]
+				if akj != 0 {
+					for i := k + 1; i < n; i++ {
+						col[i] -= colK[i-k] * akj
+					}
+				}
+			}
+			if r.ID == 0 {
+				piv[k] = pk
+			}
+		}
+
+		// Assemble the packed factors on rank 0 (column by column, in
+		// owner order).
+		for j := 0; j < n; j++ {
+			owner := j % p
+			var col []float64
+			if r.ID == owner {
+				col = mine[j]
+			}
+			if owner == 0 {
+				if r.ID == 0 {
+					for i := 0; i < n; i++ {
+						packed.Set(i, j, col[i])
+					}
+				}
+				continue
+			}
+			if r.ID == owner {
+				r.Send(0, 4000+j, col)
+			} else if r.ID == 0 {
+				got := r.Recv(owner, 4000+j)
+				for i := 0; i < n; i++ {
+					packed.Set(i, j, got[i])
+				}
+			}
+		}
+		r.Barrier()
+	})
+	return packed, piv
+}
+
+// DistributedEulerStep advances a 2D Euler state by one Rusanov timestep
+// across the world's ranks: a global max-wave-speed allreduce (the CFL
+// reduction the cloverleaf model charges), one-row halo exchanges for all
+// four conserved fields, and the local flux update. It mutates state in
+// place and returns the dt actually used — matching
+// kernels.EulerState.Step cell-for-cell.
+func DistributedEulerStep(w *minimpi.World, state *kernels.EulerState, dt, h float64) float64 {
+	nx, ny := state.NX, state.NY
+	p := w.Size()
+	if nx%p != 0 {
+		panic("apps: Euler rows not divisible by ranks")
+	}
+	rows := nx / p
+	fields := []*kernels.Grid2D{state.Rho, state.MomX, state.MomY, state.Energy}
+	gamma := state.Gamma
+
+	// Per-rank results written into disjoint row ranges.
+	newFields := make([]*kernels.Grid2D, 4)
+	for fi := range newFields {
+		newFields[fi] = kernels.NewGrid2D(nx, ny)
+	}
+	var usedDT float64
+
+	w.Run(func(r *minimpi.Rank) {
+		base := r.ID * rows
+		// Local wave speed, then the global CFL allreduce.
+		local := 0.0
+		for i := base; i < base+rows; i++ {
+			for j := 0; j < ny; j++ {
+				rho := state.Rho.At(i, j)
+				if rho <= 0 {
+					continue
+				}
+				u := math.Abs(state.MomX.At(i, j) / rho)
+				v := math.Abs(state.MomY.At(i, j) / rho)
+				pr := pressureAt(state, i, j)
+				c := math.Sqrt(gamma * math.Max(pr, 0) / rho)
+				if sp := math.Max(u, v) + c; sp > local {
+					local = sp
+				}
+			}
+		}
+		speed := r.AllreduceScalar(5000, local, minimpi.Max)
+		step := dt
+		if speed > 0 {
+			if cfl := 0.4 * h / speed; step > cfl {
+				step = cfl
+			}
+		}
+
+		// Halo rows for the four fields (packed into one message per
+		// direction, as a real halo exchange would).
+		loHalo := make([]float64, 4*ny) // row base-1, from rank-1
+		hiHalo := make([]float64, 4*ny) // row base+rows, from rank+1
+		packRow := func(i int) []float64 {
+			out := make([]float64, 4*ny)
+			for fi, g := range fields {
+				for j := 0; j < ny; j++ {
+					out[fi*ny+j] = g.At(i, j)
+				}
+			}
+			return out
+		}
+		if r.ID > 0 {
+			copy(loHalo, r.Sendrecv(r.ID-1, r.ID-1, 5100, packRow(base)))
+		}
+		if r.ID < p-1 {
+			copy(hiHalo, r.Sendrecv(r.ID+1, r.ID+1, 5100, packRow(base+rows-1)))
+		}
+
+		at := func(fi, i, j int) float64 {
+			switch {
+			case i == base-1 && r.ID > 0:
+				return loHalo[fi*ny+j]
+			case i == base+rows && r.ID < p-1:
+				return hiHalo[fi*ny+j]
+			default:
+				return fields[fi].At(i, j)
+			}
+		}
+		clampI := func(i int) int {
+			if i < 0 {
+				return 0
+			}
+			if i >= nx {
+				return nx - 1
+			}
+			return i
+		}
+		clampJ := func(j int) int {
+			if j < 0 {
+				return 0
+			}
+			if j >= ny {
+				return ny - 1
+			}
+			return j
+		}
+		cons := func(i, j int) [4]float64 {
+			return [4]float64{at(0, i, j), at(1, i, j), at(2, i, j), at(3, i, j)}
+		}
+		press := func(q [4]float64) float64 {
+			rho := q[0]
+			if rho <= 0 {
+				return 0
+			}
+			u, v := q[1]/rho, q[2]/rho
+			return (gamma - 1) * (q[3] - 0.5*rho*(u*u+v*v))
+		}
+		phys := func(q [4]float64, pr float64, dir int) [4]float64 {
+			rho := q[0]
+			if rho <= 0 {
+				return [4]float64{}
+			}
+			u, v := q[1]/rho, q[2]/rho
+			vel := u
+			if dir == 1 {
+				vel = v
+			}
+			f := [4]float64{q[0] * vel, q[1] * vel, q[2] * vel, (q[3] + pr) * vel}
+			f[1+dir] += pr
+			return f
+		}
+		flux := func(iL, jL, iR, jR, dir int) [4]float64 {
+			qL, qR := cons(iL, jL), cons(iR, jR)
+			fL := phys(qL, press(qL), dir)
+			fR := phys(qR, press(qR), dir)
+			var out [4]float64
+			for c := 0; c < 4; c++ {
+				out[c] = 0.5*(fL[c]+fR[c]) - 0.5*speed*(qR[c]-qL[c])
+			}
+			return out
+		}
+
+		for i := base; i < base+rows; i++ {
+			for j := 0; j < ny; j++ {
+				fxm := flux(clampI(i-1), j, i, j, 0)
+				fxp := flux(i, j, clampI(i+1), j, 0)
+				fym := flux(i, clampJ(j-1), i, j, 1)
+				fyp := flux(i, j, i, clampJ(j+1), 1)
+				q := cons(i, j)
+				for c := 0; c < 4; c++ {
+					v := q[c] - step/h*(fxp[c]-fxm[c]) - step/h*(fyp[c]-fym[c])
+					newFields[c].Set(i, j, v)
+				}
+			}
+		}
+		if r.ID == 0 {
+			usedDT = step
+		}
+		r.Barrier()
+	})
+	state.Rho, state.MomX, state.MomY, state.Energy = newFields[0], newFields[1], newFields[2], newFields[3]
+	return usedDT
+}
+
+// pressureAt mirrors EulerState.Pressure without needing method access to
+// unexported pieces.
+func pressureAt(s *kernels.EulerState, i, j int) float64 {
+	rho := s.Rho.At(i, j)
+	if rho <= 0 {
+		return 0
+	}
+	u := s.MomX.At(i, j) / rho
+	v := s.MomY.At(i, j) / rho
+	return (s.Gamma - 1) * (s.Energy.At(i, j) - 0.5*rho*(u*u+v*v))
+}

@@ -1,0 +1,198 @@
+package apps
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"clustersoc/internal/kernels"
+	"clustersoc/internal/minimpi"
+)
+
+// The distributed factorization must choose the same pivots and produce
+// the same packed factors as the serial kernels.Factor: the pivot rule
+// and per-element arithmetic are identical.
+func TestDistributedLUMatchesSerial(t *testing.T) {
+	n := 40
+	rng := rand.New(rand.NewSource(21))
+	a := kernels.NewMatrix(n, n)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	serial, err := kernels.Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ranks := range []int{1, 2, 3, 5, 8} {
+		packed, piv := DistributedLU(minimpi.NewWorld(ranks), a)
+		for k := 0; k < n; k++ {
+			if piv[k] != serial.Piv[k] {
+				t.Fatalf("ranks=%d: pivot[%d] = %d, serial %d", ranks, k, piv[k], serial.Piv[k])
+			}
+		}
+		for i := range packed.Data {
+			if math.Abs(packed.Data[i]-serial.A.Data[i]) > 1e-12 {
+				t.Fatalf("ranks=%d: factor element %d = %v, serial %v",
+					ranks, i, packed.Data[i], serial.A.Data[i])
+			}
+		}
+	}
+}
+
+// The distributed factors solve the original system.
+func TestDistributedLUSolves(t *testing.T) {
+	n := 24
+	rng := rand.New(rand.NewSource(5))
+	a := kernels.NewMatrix(n, n)
+	b := make([]float64, n)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	for i := range b {
+		b[i] = rng.NormFloat64()
+		a.Set(i, i, a.At(i, i)+5)
+	}
+	packed, piv := DistributedLU(minimpi.NewWorld(4), a)
+	lu := &kernels.LU{A: packed, Piv: piv}
+	x, err := lu.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := kernels.Residual(a, x, b); r > 16 {
+		t.Fatalf("scaled residual %v", r)
+	}
+}
+
+// One distributed Euler step equals the serial step, field by field.
+func TestDistributedEulerStepMatchesSerial(t *testing.T) {
+	n := 24
+	h := 1.0 / float64(n)
+	build := func() *kernels.EulerState {
+		s := kernels.NewEulerState(n, n)
+		for i := n/2 - 2; i < n/2+2; i++ {
+			for j := n/2 - 2; j < n/2+2; j++ {
+				s.Energy.Set(i, j, 8/(s.Gamma-1))
+			}
+		}
+		return s
+	}
+	serial := build()
+	dtSerial := serial.Step(0.004, h)
+	for _, ranks := range []int{1, 2, 4, 8} {
+		dist := build()
+		dtDist := DistributedEulerStep(minimpi.NewWorld(ranks), dist, 0.004, h)
+		if math.Abs(dtDist-dtSerial) > 1e-15 {
+			t.Fatalf("ranks=%d: dt %v vs serial %v", ranks, dtDist, dtSerial)
+		}
+		for _, pair := range []struct {
+			name string
+			a, b *kernels.Grid2D
+		}{
+			{"rho", dist.Rho, serial.Rho},
+			{"momx", dist.MomX, serial.MomX},
+			{"momy", dist.MomY, serial.MomY},
+			{"energy", dist.Energy, serial.Energy},
+		} {
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if d := math.Abs(pair.a.At(i, j) - pair.b.At(i, j)); d > 1e-12 {
+						t.Fatalf("ranks=%d: %s(%d,%d) differs by %v", ranks, pair.name, i, j, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Multiple distributed steps conserve mass away from the boundary, like
+// the serial kernel test.
+func TestDistributedEulerConservesMass(t *testing.T) {
+	n := 32
+	h := 1.0 / float64(n)
+	s := kernels.NewEulerState(n, n)
+	for i := n/2 - 2; i < n/2+2; i++ {
+		for j := n/2 - 2; j < n/2+2; j++ {
+			s.Energy.Set(i, j, 10/(s.Gamma-1))
+		}
+	}
+	m0 := s.TotalMass()
+	w := minimpi.NewWorld(4)
+	elapsed := 0.0
+	for elapsed < 0.02 {
+		dt := DistributedEulerStep(w, s, 0.005, h)
+		if dt <= 0 {
+			t.Fatal("timestep collapsed")
+		}
+		elapsed += dt
+	}
+	if math.Abs(s.TotalMass()-m0)/m0 > 1e-6 {
+		t.Fatalf("mass drifted %v -> %v", m0, s.TotalMass())
+	}
+}
+
+// The distributed wavefront SSOR must match the serial sweeps exactly:
+// the per-cell Gauss-Seidel order is identical, only the pipeline differs.
+func TestDistributedSSORMatchesSerial(t *testing.T) {
+	n, sweeps := 24, 6
+	h := 1.0 / float64(n+1)
+	omega := 1.4
+	f := kernels.NewGrid2D(n, n)
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			f.Set(i, j, rng.NormFloat64())
+		}
+	}
+	// Serial reference.
+	want := kernels.NewGrid2D(n, n)
+	for s := 0; s < sweeps; s++ {
+		kernels.SSORSweepForward(want, f, h, omega)
+		kernels.SSORSweepBackward(want, f, h, omega)
+	}
+	for _, ranks := range []int{1, 2, 4, 8} {
+		got := DistributedSSOR(minimpi.NewWorld(ranks), f, h, omega, sweeps)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if got.At(i, j) != want.At(i, j) {
+					t.Fatalf("ranks=%d: (%d,%d) = %v, serial %v", ranks, i, j, got.At(i, j), want.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+// Distributed ADI (transpose method) must match the serial ADI stepper.
+func TestDistributedADIMatchesSerial(t *testing.T) {
+	n, steps := 16, 3
+	h := 1.0 / float64(n+1)
+	dt := 0.004
+	build := func() *kernels.Grid2D {
+		u := kernels.NewGrid2D(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				u.Set(i, j, math.Sin(math.Pi*float64(i+1)*h)*math.Sin(math.Pi*float64(j+1)*h)+0.1*float64(i-j))
+			}
+		}
+		return u
+	}
+	want := build()
+	for s := 0; s < steps; s++ {
+		if err := kernels.ADIHeat2D(want, dt, h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, ranks := range []int{1, 2, 4, 8} {
+		got := DistributedADI(minimpi.NewWorld(ranks), build(), dt, h, steps)
+		worst := 0.0
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if d := math.Abs(got.At(i, j) - want.At(i, j)); d > worst {
+					worst = d
+				}
+			}
+		}
+		if worst > 1e-12 {
+			t.Fatalf("ranks=%d: max deviation %v", ranks, worst)
+		}
+	}
+}

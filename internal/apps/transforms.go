@@ -1,0 +1,241 @@
+package apps
+
+import (
+	"fmt"
+	"sort"
+
+	"clustersoc/internal/kernels"
+	"clustersoc/internal/minimpi"
+)
+
+// DistributedFFT2D computes the 2D FFT of an nx x ny complex field
+// (row-major, len nx*ny) the way NPB ft does: each rank transforms its
+// block of rows locally, the field is transposed with an all-to-all,
+// columns (now rows) are transformed, and the data is transposed back.
+// This is the communication pattern that makes ft the most network-bound
+// workload in Fig. 1. Returns the transformed field on every caller.
+func DistributedFFT2D(w *minimpi.World, data []complex128, nx, ny int, inverse bool) ([]complex128, error) {
+	p := w.Size()
+	if len(data) != nx*ny {
+		return nil, fmt.Errorf("apps: field size %d != %d x %d", len(data), nx, ny)
+	}
+	if nx%p != 0 || ny%p != 0 {
+		return nil, fmt.Errorf("apps: %d x %d not divisible by %d ranks", nx, ny, p)
+	}
+	rowsX := nx / p // rows per rank in row-major orientation
+	rowsY := ny / p // rows per rank after transpose
+	out := make([]complex128, nx*ny)
+	var ffErr error
+
+	// complex <-> float packing for the float64 transport.
+	pack := func(c []complex128) []float64 {
+		f := make([]float64, 2*len(c))
+		for i, v := range c {
+			f[2*i], f[2*i+1] = real(v), imag(v)
+		}
+		return f
+	}
+	unpack := func(f []float64) []complex128 {
+		c := make([]complex128, len(f)/2)
+		for i := range c {
+			c[i] = complex(f[2*i], f[2*i+1])
+		}
+		return c
+	}
+
+	w.Run(func(r *minimpi.Rank) {
+		// Local block of rows.
+		local := make([]complex128, rowsX*ny)
+		copy(local, data[r.ID*rowsX*ny:(r.ID+1)*rowsX*ny])
+		for i := 0; i < rowsX; i++ {
+			if err := kernels.FFT(local[i*ny:(i+1)*ny], inverse); err != nil {
+				ffErr = err
+				return
+			}
+		}
+		// All-to-all transpose: chunk d carries my rows' columns
+		// [d*rowsY, (d+1)*rowsY), transposed so the receiver gets them as
+		// rows.
+		chunks := make([][]float64, p)
+		for d := 0; d < p; d++ {
+			blk := make([]complex128, rowsX*rowsY)
+			for i := 0; i < rowsX; i++ {
+				for j := 0; j < rowsY; j++ {
+					blk[j*rowsX+i] = local[i*ny+d*rowsY+j] // transpose in flight
+				}
+			}
+			chunks[d] = pack(blk)
+		}
+		got := r.Alltoall(100, chunks)
+		// Assemble the transposed local block: rowsY rows of nx values.
+		tlocal := make([]complex128, rowsY*nx)
+		for s := 0; s < p; s++ {
+			blk := unpack(got[s])
+			for j := 0; j < rowsY; j++ {
+				copy(tlocal[j*nx+s*rowsX:j*nx+(s+1)*rowsX], blk[j*rowsX:(j+1)*rowsX])
+			}
+		}
+		for j := 0; j < rowsY; j++ {
+			if err := kernels.FFT(tlocal[j*nx:(j+1)*nx], inverse); err != nil {
+				ffErr = err
+				return
+			}
+		}
+		// Transpose back so the result is row-major like the input.
+		back := make([][]float64, p)
+		for d := 0; d < p; d++ {
+			blk := make([]complex128, rowsY*rowsX)
+			for j := 0; j < rowsY; j++ {
+				for i := 0; i < rowsX; i++ {
+					blk[i*rowsY+j] = tlocal[j*nx+d*rowsX+i]
+				}
+			}
+			back[d] = pack(blk)
+		}
+		got2 := r.Alltoall(101, back)
+		final := make([]complex128, rowsX*ny)
+		for s := 0; s < p; s++ {
+			blk := unpack(got2[s])
+			for i := 0; i < rowsX; i++ {
+				copy(final[i*ny+s*rowsY:i*ny+(s+1)*rowsY], blk[i*rowsY:(i+1)*rowsY])
+			}
+		}
+		parts := r.Gather(0, 902, pack(final))
+		if r.ID == 0 {
+			for s, part := range parts {
+				copy(out[s*rowsX*ny:], unpack(part))
+			}
+		}
+		r.Barrier()
+	})
+	return out, ffErr
+}
+
+// DistributedBucketSort sorts int32 keys in [0, maxKey) across the
+// world: each rank buckets its share by key range and exchanges buckets
+// all-to-all (is's full-dataset scatter), then sorts its range locally.
+// Returns the globally sorted keys.
+func DistributedBucketSort(w *minimpi.World, keys []int32, maxKey int32) []int32 {
+	p := w.Size()
+	width := (int(maxKey) + p - 1) / p
+	if width < 1 {
+		width = 1
+	}
+	share := (len(keys) + p - 1) / p
+	var mu sortedParts
+	mu.parts = make([][]int32, p)
+
+	w.Run(func(r *minimpi.Rank) {
+		lo := r.ID * share
+		hi := lo + share
+		if lo > len(keys) {
+			lo = len(keys)
+		}
+		if hi > len(keys) {
+			hi = len(keys)
+		}
+		mine := keys[lo:hi]
+		// Scatter into per-destination buckets by key range.
+		chunks := make([][]int32, p)
+		for _, k := range mine {
+			d := int(k) / width
+			if d >= p {
+				d = p - 1
+			}
+			chunks[d] = append(chunks[d], k)
+		}
+		got := r.AlltoallInts(200, chunks)
+		var local []int32
+		for _, g := range got {
+			local = append(local, g...)
+		}
+		sort.Slice(local, func(i, j int) bool { return local[i] < local[j] })
+		mu.set(r.ID, local)
+	})
+
+	var out []int32
+	for _, part := range mu.parts {
+		out = append(out, part...)
+	}
+	return out
+}
+
+// sortedParts collects per-rank outputs; each slot is written by exactly
+// one goroutine, so no lock is needed, but the type documents the intent.
+type sortedParts struct {
+	parts [][]int32
+}
+
+func (s *sortedParts) set(i int, v []int32) { s.parts[i] = v }
+
+// DistributedGUPS runs HPCC RandomAccess across the world: each rank owns
+// a contiguous table slice and an independent generator stream; updates
+// are bucketed by destination slice and exchanged all-to-all in windows
+// (exactly the is-style scatter the gups workload model charges), then
+// applied locally. The xor-commutativity of the updates makes the result
+// independent of delivery order, which the test exploits against a serial
+// replay.
+func DistributedGUPS(w *minimpi.World, logSize, updatesPerRank, windows int) []uint64 {
+	p := w.Size()
+	size := 1 << logSize
+	if size%p != 0 {
+		panic("apps: table not divisible by ranks")
+	}
+	slice := size / p
+	table := make([]uint64, size)
+	for i := range table {
+		table[i] = uint64(i)
+	}
+	if windows < 1 {
+		windows = 1
+	}
+	perWindow := updatesPerRank / windows
+
+	w.Run(func(r *minimpi.Rank) {
+		ran := hpccSeed(r.ID)
+		base := r.ID * slice
+		for win := 0; win < windows; win++ {
+			buckets := make([][]int32, p) // reuse the int32 transport: pack as two lanes
+			vals := make([][]float64, p)
+			for i := 0; i < perWindow; i++ {
+				ran = hpccAdvance(ran)
+				idx := int(ran & uint64(size-1))
+				d := idx / slice
+				buckets[d] = append(buckets[d], int32(idx-d*slice))
+				vals[d] = append(vals[d], float64(ran&0xFFFFFFFF)) // low lane
+				vals[d] = append(vals[d], float64(ran>>32))        // high lane
+			}
+			gotIdx := r.AlltoallInts(600+win, buckets)
+			gotVal := r.Alltoall(700+win, vals)
+			for src := 0; src < p; src++ {
+				for k, off := range gotIdx[src] {
+					lo := uint64(gotVal[src][2*k])
+					hi := uint64(gotVal[src][2*k+1])
+					table[base+int(off)] ^= lo | hi<<32
+				}
+			}
+		}
+		r.Barrier()
+	})
+	return table
+}
+
+// hpccSeed gives rank r its own LFSR start (r advances from the origin).
+func hpccSeed(r int) uint64 {
+	ran := uint64(1)
+	for i := 0; i < r*1024; i++ {
+		ran = hpccAdvance(ran)
+	}
+	return ran
+}
+
+// hpccAdvance is the HPCC polynomial step (mirrors kernels.hpccNext; kept
+// local so apps depends only on kernels' exported surface).
+func hpccAdvance(ran uint64) uint64 {
+	hi := ran >> 63
+	ran <<= 1
+	if hi != 0 {
+		ran ^= 0x0000000000000007
+	}
+	return ran
+}

@@ -1,0 +1,236 @@
+package apps
+
+import (
+	"clustersoc/internal/kernels"
+	"clustersoc/internal/minimpi"
+)
+
+// DistributedSSOR runs lu's real communication structure: forward and
+// backward Gauss-Seidel wavefront sweeps for -lap(u) = f, with the grid
+// strip-decomposed by rows. A rank may relax its strip only after its
+// upper neighbour has sent the freshly-updated boundary row (forward
+// sweep) — the pipelined dependency chain whose serialization the paper's
+// Ser factor measures for lu. The result matches the serial
+// SSORSweepForward/Backward bit-for-bit because the update order per cell
+// is identical.
+func DistributedSSOR(w *minimpi.World, f *kernels.Grid2D, h, omega float64, sweeps int) *kernels.Grid2D {
+	n := f.NX
+	p := w.Size()
+	if n%p != 0 {
+		panic("apps: grid rows not divisible by ranks")
+	}
+	rows := n / p
+	result := kernels.NewGrid2D(n, n)
+
+	w.Run(func(r *minimpi.Rank) {
+		u := kernels.NewGrid2D(rows, n)
+		lf := kernels.NewGrid2D(rows, n)
+		base := r.ID * rows
+		for i := 0; i < rows; i++ {
+			for j := 0; j < n; j++ {
+				lf.Set(i, j, f.At(base+i, j))
+			}
+		}
+		rowOf := func(g *kernels.Grid2D, i int) []float64 {
+			out := make([]float64, n)
+			for j := 0; j < n; j++ {
+				out[j] = g.At(i, j)
+			}
+			return out
+		}
+		setHalo := func(i int, vals []float64) {
+			for j := 0; j < n; j++ {
+				u.Set(i, j, vals[j])
+			}
+		}
+		relaxForward := func(i int) {
+			for j := 0; j < n; j++ {
+				gs := 0.25 * (u.At(i-1, j) + u.At(i+1, j) + u.At(i, j-1) + u.At(i, j+1) + h*h*lf.At(i, j))
+				u.Set(i, j, (1-omega)*u.At(i, j)+omega*gs)
+			}
+		}
+		relaxBackward := func(i int) {
+			for j := n - 1; j >= 0; j-- {
+				gs := 0.25 * (u.At(i-1, j) + u.At(i+1, j) + u.At(i, j-1) + u.At(i, j+1) + h*h*lf.At(i, j))
+				u.Set(i, j, (1-omega)*u.At(i, j)+omega*gs)
+			}
+		}
+		for s := 0; s < sweeps; s++ {
+			// Forward sweep (top-left to bottom-right): a cell reads NEW
+			// values above/left and OLD values below/right. Across strips:
+			// the halo above must be the upper strip's freshly-relaxed
+			// bottom row (the wavefront), the halo below the lower strip's
+			// pre-sweep top row.
+			if r.ID > 0 {
+				r.Send(r.ID-1, 150+s, rowOf(u, 0)) // my old top row, up
+			}
+			if r.ID < p-1 {
+				setHalo(rows, r.Recv(r.ID+1, 150+s))
+			}
+			if r.ID > 0 {
+				setHalo(-1, r.Recv(r.ID-1, 100+s)) // wavefront: blocks on the strip above
+			}
+			for i := 0; i < rows; i++ {
+				relaxForward(i)
+			}
+			if r.ID < p-1 {
+				r.Send(r.ID+1, 100+s, rowOf(u, rows-1)) // pass the wavefront down
+			}
+
+			// Backward sweep (bottom-right to top-left): mirrored.
+			if r.ID < p-1 {
+				r.Send(r.ID+1, 350+s, rowOf(u, rows-1)) // my pre-backward bottom row, down
+			}
+			if r.ID > 0 {
+				setHalo(-1, r.Recv(r.ID-1, 350+s))
+			}
+			if r.ID < p-1 {
+				setHalo(rows, r.Recv(r.ID+1, 300+s)) // wavefront from below
+			}
+			for i := rows - 1; i >= 0; i-- {
+				relaxBackward(i)
+			}
+			if r.ID > 0 {
+				r.Send(r.ID-1, 300+s, rowOf(u, 0)) // pass the wavefront up
+			}
+		}
+		parts := r.Gather(0, 903, flatten(u, rows, n))
+		if r.ID == 0 {
+			for src, part := range parts {
+				for i := 0; i < rows; i++ {
+					for j := 0; j < n; j++ {
+						result.Set(src*rows+i, j, part[i*n+j])
+					}
+				}
+			}
+		}
+		r.Barrier()
+	})
+	return result
+}
+
+func flatten(g *kernels.Grid2D, rows, n int) []float64 {
+	out := make([]float64, rows*n)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < n; j++ {
+			out[i*n+j] = g.At(i, j)
+		}
+	}
+	return out
+}
+
+// DistributedADI advances u_t = lap(u) by ADI timesteps with the
+// transpose method bt/sp use: the x-direction tridiagonal solves are
+// local to row strips, then the field transposes with an all-to-all so
+// the y-direction solves are local too, and transposes back — two full
+// all-to-alls per step. Matches kernels.ADIHeat2D exactly.
+func DistributedADI(w *minimpi.World, u *kernels.Grid2D, dt, h float64, steps int) *kernels.Grid2D {
+	n := u.NX
+	p := w.Size()
+	if n%p != 0 {
+		panic("apps: grid rows not divisible by ranks")
+	}
+	rows := n / p
+	r2 := dt / (2 * h * h)
+	result := kernels.NewGrid2D(n, n)
+
+	w.Run(func(r *minimpi.Rank) {
+		// Local strip as a flat rows x n block (no halos needed: each
+		// half-step's coupling direction is made local by transposing).
+		local := make([]float64, rows*n)
+		base := r.ID * rows
+		for i := 0; i < rows; i++ {
+			for j := 0; j < n; j++ {
+				local[i*n+j] = u.At(base+i, j)
+			}
+		}
+
+		// transpose exchanges the strip so columns become rows.
+		transpose := func(block []float64, tag int) []float64 {
+			chunks := make([][]float64, p)
+			for d := 0; d < p; d++ {
+				blk := make([]float64, rows*rows)
+				for i := 0; i < rows; i++ {
+					for j := 0; j < rows; j++ {
+						blk[j*rows+i] = block[i*n+d*rows+j]
+					}
+				}
+				chunks[d] = blk
+			}
+			got := r.Alltoall(tag, chunks)
+			out := make([]float64, rows*n)
+			for s := 0; s < p; s++ {
+				for j := 0; j < rows; j++ {
+					copy(out[j*n+s*rows:j*n+(s+1)*rows], got[s][j*rows:(j+1)*rows])
+				}
+			}
+			return out
+		}
+
+		// solveLines runs the implicit tridiagonal solve along each local
+		// row of cur. The explicit cross-term runs ACROSS rows, so it
+		// needs one halo row from each neighbour first (Dirichlet zeros at
+		// the domain edges).
+		solveLines := func(cur []float64, tag int) []float64 {
+			up := make([]float64, n)
+			down := make([]float64, n)
+			if r.ID > 0 {
+				copy(up, r.Sendrecv(r.ID-1, r.ID-1, tag, cur[:n]))
+			}
+			if r.ID < p-1 {
+				copy(down, r.Sendrecv(r.ID+1, r.ID+1, tag, cur[(rows-1)*n:]))
+			}
+			at := func(i, j int) float64 {
+				switch {
+				case i < 0:
+					return up[j]
+				case i >= rows:
+					return down[j]
+				default:
+					return cur[i*n+j]
+				}
+			}
+			out := make([]float64, rows*n)
+			a := make([]float64, n)
+			b := make([]float64, n)
+			c := make([]float64, n)
+			d := make([]float64, n)
+			for i := 0; i < rows; i++ {
+				for j := 0; j < n; j++ {
+					a[j], b[j], c[j] = -r2, 1+2*r2, -r2
+					d[j] = at(i, j) + r2*(at(i-1, j)-2*at(i, j)+at(i+1, j))
+				}
+				if err := kernels.ThomasSolve(a, b, c, d); err != nil {
+					panic(err)
+				}
+				copy(out[i*n:(i+1)*n], d)
+			}
+			return out
+		}
+
+		for s := 0; s < steps; s++ {
+			// Half-step 1 of ADIHeat2D solves implicitly along x (columns
+			// j vary) with the explicit term along y: transpose so the
+			// serial code's "columns" are our local rows.
+			tr := transpose(local, 1000+4*s)
+			half := solveLines(tr, 2000+4*s)
+			// Back to row-major orientation for half-step 2 (implicit
+			// along y = the serial rows).
+			back := transpose(half, 1001+4*s)
+			local = solveLines(back, 2001+4*s)
+		}
+
+		parts := r.Gather(0, 904, local)
+		if r.ID == 0 {
+			for src, part := range parts {
+				for i := 0; i < rows; i++ {
+					for j := 0; j < n; j++ {
+						result.Set(src*rows+i, j, part[i*n+j])
+					}
+				}
+			}
+		}
+		r.Barrier()
+	})
+	return result
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+
+	"clustersoc/internal/roofline"
+)
+
+func TestRunByName(t *testing.T) {
+	res, err := Run(TX1(2, TenGigE), "jacobi", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runtime <= 0 || res.Throughput <= 0 {
+		t.Fatal("empty result")
+	}
+	if _, err := Run(TX1(2, TenGigE), "nope", 0.02); err == nil {
+		t.Fatal("unknown workload should error")
+	}
+	// GPU workloads refuse CPU-only systems.
+	if _, err := Run(Cavium(), "jacobi", 0.02); err == nil {
+		t.Fatal("jacobi on the Cavium should error")
+	}
+	// NPB on the Cavium works.
+	if _, err := Run(Cavium(), "ep", 0.02); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNetworkChoiceMatters(t *testing.T) {
+	slow, err := Run(TX1(8, GigE), "ft", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := Run(TX1(8, TenGigE), "ft", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Runtime >= slow.Runtime {
+		t.Fatal("10GbE should beat 1GbE on ft")
+	}
+}
+
+func TestRooflineOf(t *testing.T) {
+	cfg := TX1(8, TenGigE)
+	res, err := Run(cfg, "jacobi", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := RooflineOf(cfg, res, false)
+	if a.Limit != roofline.LimitOperational {
+		t.Errorf("jacobi limit = %s, want operational", a.Limit)
+	}
+	if a.PercentOfPeak <= 0 || a.PercentOfPeak > 100.5 {
+		t.Errorf("%%peak = %v", a.PercentOfPeak)
+	}
+	m := RooflineModel(cfg, true)
+	if m.PeakFlops <= RooflineModel(cfg, false).PeakFlops {
+		t.Error("FP32 roof should exceed FP64")
+	}
+}
+
+func TestScalability(t *testing.T) {
+	res, err := Scalability(TX1(8, TenGigE), "tealeaf3d", []int{1, 2, 4}, 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Speedups) != 3 || res.Speedups[0] != 1 {
+		t.Fatalf("speedups %v", res.Speedups)
+	}
+	if res.Speedups[2] <= res.Speedups[1] {
+		t.Fatal("speedup should grow to 4 nodes")
+	}
+	e := res.Efficiency
+	if e.Eta <= 0 || e.Eta > 1 {
+		t.Fatalf("eta = %v", e.Eta)
+	}
+	if res.IdealNetworkGain < 1 || res.IdealLoadBalanceGain < 1 {
+		t.Fatalf("replay gains below 1: %v %v", res.IdealNetworkGain, res.IdealLoadBalanceGain)
+	}
+	if _, err := Scalability(TX1(8, TenGigE), "nope", []int{1, 2}, 0.03); err == nil {
+		t.Fatal("unknown workload should error")
+	}
+}
+
+func TestWorkloadsList(t *testing.T) {
+	names := Workloads()
+	if len(names) != 15 {
+		t.Fatalf("%d workloads, want 15 (7 GPU + 8 NPB)", len(names))
+	}
+	if names[0] != "hpl" {
+		t.Fatalf("first workload %s", names[0])
+	}
+}

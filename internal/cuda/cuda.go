@@ -1,0 +1,207 @@
+// Package cuda models the CUDA execution and memory-management semantics
+// the paper analyzes: kernel launches on an integrated (TX1) or discrete
+// (GTX 980) Maxwell GPU, explicit host<->device copies, and the three
+// memory-management models of Sec. II-B — host-and-device copy, zero-copy,
+// and unified memory — including the TX1 behaviour where zero-copy
+// mappings bypass the GPU cache hierarchy to preserve coherency (Sec.
+// III-B.5, confirmed with Nvidia in the paper).
+package cuda
+
+import (
+	"math"
+
+	"clustersoc/internal/perf"
+	"clustersoc/internal/sim"
+	"clustersoc/internal/soc"
+)
+
+// MemModel selects one of the three CUDA memory-management models.
+type MemModel int
+
+const (
+	// HostDevice is the conventional model: separate address spaces with
+	// explicit cudaMemcpy, even on unified-memory hardware like the TX1.
+	HostDevice MemModel = iota
+	// ZeroCopy maps host memory into the device: no copies, but on the TX1
+	// every access bypasses the GPU L2 to stay coherent.
+	ZeroCopy
+	// Unified is CUDA managed memory: data migrates automatically; caching
+	// works, copies still happen (transparently), plus driver overhead.
+	Unified
+)
+
+// String names the model as the paper's Table III does.
+func (m MemModel) String() string {
+	switch m {
+	case HostDevice:
+		return "H & D"
+	case ZeroCopy:
+		return "zero-copy"
+	case Unified:
+		return "unified memory"
+	}
+	return "unknown"
+}
+
+// unifiedOverhead is the driver cost factor of managed-memory migration
+// relative to an explicit memcpy.
+const unifiedOverhead = 1.02
+
+// Kernel describes one GPU kernel's resource demands.
+type Kernel struct {
+	Name string
+	// FLOPs executed by the kernel.
+	FLOPs float64
+	// Bytes of memory traffic the kernel requests (through the L2).
+	Bytes float64
+	// L2HitRatio is the fraction of Bytes the L2 serves under normal
+	// caching; the remainder goes to DRAM.
+	L2HitRatio float64
+	// SinglePrecision kernels run at the FP32 rate (AI inference); double
+	// precision (the scientific codes) pays the Maxwell 1/32 ratio.
+	SinglePrecision bool
+	// HalfPrecision kernels run at the FP16 rate — 2x FP32 on the TX1 but
+	// 1/64 on the desktop GM204 — and halve the memory traffic. Takes
+	// precedence over SinglePrecision.
+	HalfPrecision bool
+}
+
+// Device is one simulated GPU.
+type Device struct {
+	Config soc.GPUConfig
+	Model  MemModel
+
+	eng    *sim.Engine
+	mem    *sim.Pipe     // device-visible memory (shared node DRAM or GDDR5)
+	pcie   *sim.Pipe     // host link for discrete cards; nil when integrated
+	stream *sim.Resource // default stream: kernels serialize
+
+	Metrics perf.GPUMetrics
+	smBusy  float64 // SM-seconds, for the power meter
+}
+
+// New creates a device. mem is the pipe its memory accesses go through:
+// for an integrated GPU pass the node's shared DRAM pipe, so CPU and GPU
+// traffic contend (the paper's central hardware property); for a discrete
+// card pass a dedicated GDDR5 pipe and a PCIe pipe for copies.
+func New(e *sim.Engine, cfg soc.GPUConfig, mem, pcie *sim.Pipe) *Device {
+	return &Device{
+		Config: cfg,
+		Model:  HostDevice,
+		eng:    e,
+		mem:    mem,
+		pcie:   pcie,
+		stream: sim.NewResource(1),
+	}
+}
+
+// SMBusySeconds returns accumulated SM-seconds for power accounting.
+func (d *Device) SMBusySeconds() float64 { return d.smBusy }
+
+// effectiveRate returns the FLOP/s the kernel's precision can reach.
+func (d *Device) effectiveRate(k Kernel) float64 {
+	switch {
+	case k.HalfPrecision:
+		return d.Config.PeakFP16() * d.Config.Efficiency
+	case k.SinglePrecision:
+		return d.Config.PeakFP32() * d.Config.Efficiency
+	default:
+		return d.Config.PeakFP64() * d.Config.Efficiency
+	}
+}
+
+// CopyIn moves bytes from host to device ahead of a kernel, according to
+// the memory-management model. Blocks p until the data is in place.
+func (d *Device) CopyIn(p *sim.Process, bytes float64) { d.copy(p, bytes) }
+
+// CopyOut moves results back to the host.
+func (d *Device) CopyOut(p *sim.Process, bytes float64) { d.copy(p, bytes) }
+
+func (d *Device) copy(p *sim.Process, bytes float64) {
+	if bytes <= 0 {
+		return
+	}
+	switch d.Model {
+	case ZeroCopy:
+		// No copy: the kernel will access host memory in place (and pay
+		// for it there).
+		return
+	case Unified:
+		bytes *= unifiedOverhead
+	}
+	start := p.Now()
+	if d.pcie != nil {
+		// Discrete: host DRAM -> PCIe -> GDDR5; PCIe is the bottleneck.
+		d.pcie.Transfer(p, bytes)
+	} else {
+		// Integrated: a memcpy within the shared DRAM reads and writes the
+		// data, so it costs 2x bytes of DRAM traffic at the CPU port rate.
+		d.mem.TransferRated(p, 2*bytes, d.Config.MemBandwidth)
+	}
+	d.Metrics.CopyBytes += bytes
+	d.Metrics.CopySeconds += p.Now() - start
+}
+
+// Launch runs the kernel, blocking p until completion. Kernels on the
+// default stream serialize. The kernel's duration is the max of its
+// compute time and its memory time, the latter shaped by the memory model.
+func (d *Device) Launch(p *sim.Process, k Kernel) {
+	d.stream.Acquire(p)
+	defer d.stream.Release(d.eng)
+
+	p.Sleep(d.Config.LaunchOverhead)
+	start := p.Now()
+
+	hit := math.Min(1, math.Max(0, k.L2HitRatio))
+	if k.HalfPrecision {
+		k.Bytes /= 2 // half-width values halve the traffic
+	}
+	bw := d.Config.MemBandwidth
+	if d.Model == ZeroCopy {
+		// TX1 zero-copy: cache hierarchy bypassed for coherency; every
+		// byte goes to memory at a degraded coherent-path rate. On a
+		// discrete card the "memory" is host DRAM across PCIe.
+		hit = 0
+		bw *= d.Config.ZeroCopyPenalty
+	}
+	dramBytes := k.Bytes * (1 - hit)
+
+	if dramBytes > 0 {
+		if d.Model == ZeroCopy && d.pcie != nil {
+			d.pcie.Transfer(p, dramBytes)
+		} else {
+			d.mem.TransferRated(p, dramBytes, bw)
+		}
+	}
+	memTime := p.Now() - start
+
+	computeTime := k.FLOPs / d.effectiveRate(k)
+	if computeTime > memTime {
+		p.Sleep(computeTime - memTime)
+	}
+	dur := p.Now() - start
+
+	d.smBusy += dur * float64(d.Config.SMs)
+	d.Metrics.Launches++
+	d.Metrics.KernelSeconds += dur
+	d.Metrics.FLOPs += k.FLOPs
+	d.Metrics.DRAMBytes += dramBytes
+	d.Metrics.L2Accesses += k.Bytes
+	d.Metrics.L2Hits += k.Bytes * hit
+	d.Metrics.ComputeSeconds += math.Min(computeTime, dur)
+	if memTime > computeTime {
+		d.Metrics.StallSeconds += memTime - computeTime
+	}
+}
+
+// LaunchAsync starts the kernel on a helper process and returns a gate
+// that opens at completion — the mechanism hpl's lookahead uses to overlap
+// the trailing update with the next panel broadcast.
+func (d *Device) LaunchAsync(k Kernel) *sim.Gate {
+	g := &sim.Gate{}
+	d.eng.Spawn("cuda-async:"+k.Name, func(hp *sim.Process) {
+		d.Launch(hp, k)
+		g.Open(d.eng)
+	})
+	return g
+}

@@ -1,0 +1,251 @@
+// Package dimemas replays execution traces under modified conditions, the
+// way the paper uses the DIMEMAS high-level network simulator (Sec.
+// III-B.4): the same dependency structure is re-timed with a different
+// network (including the ideal zero-latency, unlimited-bandwidth network)
+// or with the load artificially balanced across ranks, isolating each
+// scalability factor.
+//
+// It also computes the parallel-efficiency decomposition of Rosas et al.,
+// equation (4) of the paper:
+//
+//	eta = LB * Ser * Trf
+//
+// where LB measures load balance, Ser the serialization imposed by
+// dependencies even on an ideal network, and Trf the cost of actual data
+// transfers.
+package dimemas
+
+import (
+	"fmt"
+
+	"clustersoc/internal/trace"
+)
+
+// NetworkModel parameterizes the replay network (DIMEMAS's simple model:
+// per-message latency plus bytes/bandwidth, no contention).
+type NetworkModel struct {
+	Name           string
+	Bandwidth      float64 // bytes/second between distinct nodes
+	Latency        float64 // seconds per inter-node message
+	IntraBandwidth float64 // bytes/second between ranks on one node
+	IntraLatency   float64
+}
+
+// IdealNetwork is the zero-latency, unlimited-bandwidth scenario.
+var IdealNetwork = NetworkModel{
+	Name:           "ideal",
+	Bandwidth:      1e18,
+	Latency:        0,
+	IntraBandwidth: 1e18,
+	IntraLatency:   0,
+}
+
+// Options modifies a replay.
+type Options struct {
+	Net NetworkModel
+	// IdealLoadBalance rescales every rank's compute time within each
+	// phase to the phase mean (LB = 1), leaving copies and messages alone.
+	IdealLoadBalance bool
+	// Buses limits how many inter-node transfers can be in flight at once
+	// — DIMEMAS's classic "number of buses" contention parameter. Zero
+	// means unlimited (the L1 contention-free model).
+	Buses int
+}
+
+type matchKey struct{ src, dst, tag int }
+
+// Replay re-times the trace under opts and returns the simulated runtime.
+// It panics on a malformed trace (unmatched receives), which in this
+// codebase indicates a recording bug rather than an input condition.
+func Replay(t *trace.Trace, opts Options) float64 {
+	n := len(t.Ranks)
+	scale := computeScales(t, opts.IdealLoadBalance)
+
+	clocks := make([]float64, n)
+	idx := make([]int, n)
+	phase := make([]int, n)
+	arrivals := make(map[matchKey][]float64)
+	// Bus contention: each inter-node transfer books the earliest-free
+	// bus. With Buses == 0 the slice stays empty and transfers never wait.
+	var buses []float64
+	if opts.Buses > 0 {
+		buses = make([]float64, opts.Buses)
+	}
+
+	remaining := 0
+	for _, r := range t.Ranks {
+		remaining += len(r.Ops)
+	}
+	for remaining > 0 {
+		progress := false
+		for r := 0; r < n; r++ {
+			rt := t.Ranks[r]
+			stuck := false
+			for idx[r] < len(rt.Ops) && !stuck {
+				op := rt.Ops[idx[r]]
+				switch op.Kind {
+				case trace.OpCompute:
+					clocks[r] += op.Dur * scale[r][phase[r]]
+				case trace.OpCopy:
+					clocks[r] += op.Dur
+				case trace.OpPhase:
+					phase[r]++
+				case trace.OpSend:
+					bw, lat := opts.Net.Bandwidth, opts.Net.Latency
+					intra := t.Ranks[op.Peer].Node == rt.Node
+					if intra {
+						bw, lat = opts.Net.IntraBandwidth, opts.Net.IntraLatency
+					}
+					start := clocks[r]
+					if len(buses) > 0 && !intra {
+						// Claim the earliest-free bus (DIMEMAS contention).
+						bi := 0
+						for i := 1; i < len(buses); i++ {
+							if buses[i] < buses[bi] {
+								bi = i
+							}
+						}
+						if buses[bi] > start {
+							start = buses[bi]
+						}
+						buses[bi] = start + op.Bytes/bw
+					}
+					drain := start + op.Bytes/bw
+					k := matchKey{r, op.Peer, op.Tag}
+					arrivals[k] = append(arrivals[k], drain+lat)
+					clocks[r] = drain
+				case trace.OpRecv:
+					k := matchKey{op.Peer, r, op.Tag}
+					q := arrivals[k]
+					if len(q) == 0 {
+						stuck = true // sender not replayed yet; revisit next pass
+						continue
+					}
+					arrivals[k] = q[1:]
+					if q[0] > clocks[r] {
+						clocks[r] = q[0]
+					}
+				}
+				idx[r]++
+				remaining--
+				progress = true
+			}
+		}
+		if !progress {
+			panic(fmt.Sprintf("dimemas: replay deadlock with %d ops remaining", remaining))
+		}
+	}
+	max := 0.0
+	for _, c := range clocks {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// computeScales returns per-rank, per-phase multipliers for compute time.
+// Without ideal load balance all factors are 1; with it, each rank's
+// compute in a phase is scaled to the phase mean.
+func computeScales(t *trace.Trace, ideal bool) [][]float64 {
+	n := len(t.Ranks)
+	// Count phases and per-phase compute per rank.
+	perRank := make([][]float64, n)
+	maxPhases := 1
+	for i, r := range t.Ranks {
+		cur := 0.0
+		for _, op := range r.Ops {
+			switch op.Kind {
+			case trace.OpCompute:
+				cur += op.Dur
+			case trace.OpPhase:
+				perRank[i] = append(perRank[i], cur)
+				cur = 0
+			}
+		}
+		perRank[i] = append(perRank[i], cur)
+		if len(perRank[i]) > maxPhases {
+			maxPhases = len(perRank[i])
+		}
+	}
+	scale := make([][]float64, n)
+	for i := range scale {
+		scale[i] = make([]float64, maxPhases)
+		for j := range scale[i] {
+			scale[i][j] = 1
+		}
+	}
+	if !ideal {
+		return scale
+	}
+	for ph := 0; ph < maxPhases; ph++ {
+		sum, cnt := 0.0, 0
+		for i := 0; i < n; i++ {
+			if ph < len(perRank[i]) {
+				sum += perRank[i][ph]
+				cnt++
+			}
+		}
+		if cnt == 0 {
+			continue
+		}
+		mean := sum / float64(cnt)
+		for i := 0; i < n; i++ {
+			if ph < len(perRank[i]) && perRank[i][ph] > 0 {
+				scale[i][ph] = mean / perRank[i][ph]
+			}
+		}
+	}
+	return scale
+}
+
+// Efficiency is the eta = LB * Ser * Trf decomposition for one traced run.
+type Efficiency struct {
+	LB  float64 // load balance: mean(C_i)/max(C_i)
+	Ser float64 // serialization: max(C_i)/T_ideal
+	Trf float64 // transfer: T_ideal/T_measured
+	Eta float64
+	// TIdeal is the ideal-network replay runtime; TMeasured the real one.
+	TIdeal    float64
+	TMeasured float64
+}
+
+// Decompose computes the efficiency factors of a traced run whose measured
+// runtime is t.Runtime.
+func Decompose(t *trace.Trace) Efficiency {
+	comp := t.ComputeSeconds()
+	sum, max := 0.0, 0.0
+	for _, c := range comp {
+		sum += c
+		if c > max {
+			max = c
+		}
+	}
+	mean := sum / float64(len(comp))
+	tIdeal := Replay(t, Options{Net: IdealNetwork})
+	e := Efficiency{
+		TIdeal:    tIdeal,
+		TMeasured: t.Runtime,
+	}
+	if max > 0 {
+		e.LB = mean / max
+	}
+	if tIdeal > 0 {
+		e.Ser = clamp01(max / tIdeal)
+	}
+	if t.Runtime > 0 {
+		e.Trf = clamp01(tIdeal / t.Runtime)
+	}
+	e.Eta = e.LB * e.Ser * e.Trf
+	return e
+}
+
+func clamp01(x float64) float64 {
+	if x > 1 {
+		return 1
+	}
+	if x < 0 {
+		return 0
+	}
+	return x
+}

@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"clustersoc/internal/cluster"
+	"clustersoc/internal/network"
+	"clustersoc/internal/power"
+	"clustersoc/internal/workloads"
+)
+
+// WorkRatioPoint is one Fig. 7 sample: hpl energy efficiency when the
+// GPU handles `Ratio` of the trailing update and one CPU core the rest,
+// normalized to the all-GPU case.
+type WorkRatioPoint struct {
+	Nodes      int
+	Ratio      float64
+	Efficiency float64 // MFLOPS/W
+	Normalized float64 // vs Ratio = 1 at the same size
+}
+
+// WorkRatio holds Fig. 7.
+type WorkRatio struct {
+	Points []WorkRatioPoint
+}
+
+// Fig7 regenerates the CPU/GPU work-ratio sweep for hpl.
+func Fig7(o Options) *WorkRatio {
+	out := &WorkRatio{}
+	ratios := []float64{0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	for _, nodes := range o.sizes() {
+		var baseline float64
+		// Sweep from 1.0 down so the baseline exists first.
+		var pts []WorkRatioPoint
+		for i := len(ratios) - 1; i >= 0; i-- {
+			ratio := ratios[i]
+			w, _ := workloads.ByName("hpl")
+			cfg := cluster.TX1Cluster(nodes, network.TenGigE)
+			cfg.RanksPerNode = 1
+			cfg.FileServer = true
+			res := cluster.New(cfg).Run(w.Body(workloads.Config{Scale: o.scale(), GPUWorkRatio: ratio}))
+			eff := res.MFLOPSPerWatt()
+			if ratio == 1.0 {
+				baseline = eff
+			}
+			pts = append(pts, WorkRatioPoint{Nodes: nodes, Ratio: ratio, Efficiency: eff})
+		}
+		for i := range pts {
+			if baseline > 0 {
+				pts[i].Normalized = pts[i].Efficiency / baseline
+			}
+		}
+		// Restore ascending-ratio order for presentation.
+		for i := len(pts) - 1; i >= 0; i-- {
+			out.Points = append(out.Points, pts[i])
+		}
+	}
+	return out
+}
+
+// At returns the point for (nodes, ratio), or nil.
+func (wr *WorkRatio) At(nodes int, ratio float64) *WorkRatioPoint {
+	for i := range wr.Points {
+		p := &wr.Points[i]
+		if p.Nodes == nodes && p.Ratio > ratio-1e-9 && p.Ratio < ratio+1e-9 {
+			return p
+		}
+	}
+	return nil
+}
+
+// String renders Fig. 7.
+func (wr *WorkRatio) String() string {
+	t := &table{header: []string{"nodes", "GPU work ratio", "MFLOPS/W", "normalized"}}
+	for _, p := range wr.Points {
+		t.add(f1(float64(p.Nodes)), f2(p.Ratio), f1(p.Efficiency), f2(p.Normalized))
+	}
+	return t.String()
+}
+
+// CollocationRow is one Table IV row: an hpl configuration under one
+// network at every cluster size.
+type CollocationRow struct {
+	Config  string // "CPU", "GPU", "CPU+GPU"
+	Network string
+	Nodes   int
+
+	ThroughputGFLOPS float64
+	MFLOPSPerWatt    float64
+}
+
+// Collocation holds Table IV.
+type Collocation struct {
+	Rows []CollocationRow
+}
+
+// Table4 regenerates Table IV: hpl throughput and energy efficiency for
+// the CPU-only version (4 ranks/node), the GPU version, and both running
+// collocated (GPU + 3 CPU ranks/node), under both networks.
+func Table4(o Options) *Collocation {
+	out := &Collocation{}
+	for _, prof := range []network.Profile{network.GigE, network.TenGigE} {
+		for _, nodes := range o.sizes() {
+			// CPU-only: the HPCC hpl on all 4 cores.
+			cpu := workloads.NewHPLCPU(4)
+			cfgC := cluster.TX1Cluster(nodes, prof)
+			cfgC.RanksPerNode = 4
+			resC := cluster.New(cfgC).Run(cpu.Body(workloads.Config{Scale: o.scale()}))
+			out.Rows = append(out.Rows, CollocationRow{
+				Config: "CPU", Network: prof.Name, Nodes: nodes,
+				ThroughputGFLOPS: resC.Throughput / 1e9,
+				MFLOPSPerWatt:    resC.MFLOPSPerWatt(),
+			})
+
+			// GPU version.
+			gpu, _ := workloads.ByName("hpl")
+			cfgG := cluster.TX1Cluster(nodes, prof)
+			cfgG.RanksPerNode = 1
+			cfgG.FileServer = true
+			resG := cluster.New(cfgG).Run(gpu.Body(workloads.Config{Scale: o.scale()}))
+			out.Rows = append(out.Rows, CollocationRow{
+				Config: "GPU", Network: prof.Name, Nodes: nodes,
+				ThroughputGFLOPS: resG.Throughput / 1e9,
+				MFLOPSPerWatt:    resG.MFLOPSPerWatt(),
+			})
+
+			// Collocated: GPU hpl (1 rank/node, one core for transfers)
+			// plus the CPU hpl on the remaining 3 cores, simultaneously.
+			// Each run solves its own system, so the combined throughput is
+			// the sum of the two jobs' own rates under contention — the way
+			// the paper tallies its simultaneous runs.
+			cfgB := cluster.TX1Cluster(nodes, prof)
+			cfgB.RanksPerNode = 1
+			cfgB.FileServer = true
+			cl := cluster.New(cfgB)
+			jobGPU := cl.Spawn(gpu.Body(workloads.Config{Scale: o.scale()}))
+			cpu3 := workloads.NewHPLCPU(3)
+			jobCPU := cl.SpawnWith(3, cpu3.Body(workloads.Config{Scale: o.scale()}))
+			resB := cl.Finish()
+			combined := jobGPU.Throughput() + jobCPU.Throughput()
+			out.Rows = append(out.Rows, CollocationRow{
+				Config: "CPU+GPU", Network: prof.Name, Nodes: nodes,
+				ThroughputGFLOPS: combined / 1e9,
+				MFLOPSPerWatt:    power.MFLOPSPerWatt(combined, resB.AvgPowerWatts),
+			})
+		}
+	}
+	return out
+}
+
+// Row returns the entry for (config, network, nodes), or nil.
+func (c *Collocation) Row(config, net string, nodes int) *CollocationRow {
+	for i := range c.Rows {
+		r := &c.Rows[i]
+		if r.Config == config && r.Network == net && r.Nodes == nodes {
+			return r
+		}
+	}
+	return nil
+}
+
+// String renders Table IV.
+func (c *Collocation) String() string {
+	t := &table{header: []string{"configuration", "nodes", "GFLOPS", "MFLOPS/W"}}
+	for _, r := range c.Rows {
+		t.add(r.Config+"+"+r.Network, f1(float64(r.Nodes)), f1(r.ThroughputGFLOPS), f1(r.MFLOPSPerWatt))
+	}
+	return t.String()
+}

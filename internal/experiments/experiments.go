@@ -1,0 +1,104 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation on the simulated testbed. Each generator returns structured
+// rows (and can render itself as text), and is exercised by
+// cmd/experiments, the top-level benchmarks, and the integration tests.
+//
+// DESIGN.md carries the experiment index; EXPERIMENTS.md records the
+// paper-vs-measured comparison produced from these generators.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"clustersoc/internal/cluster"
+	"clustersoc/internal/network"
+	"clustersoc/internal/workloads"
+)
+
+// Options tunes how heavy the regeneration is.
+type Options struct {
+	// Scale is the problem scale passed to every workload (1 = paper
+	// size). The default used by the CLI and benches is 0.08: shapes are
+	// scale-invariant (see workloads), runs are ~12x cheaper.
+	Scale float64
+	// Sizes are the cluster sizes swept (paper: 2, 4, 6, 8).
+	Sizes []int
+}
+
+// DefaultOptions returns the standard regeneration settings.
+func DefaultOptions() Options {
+	return Options{Scale: 0.08, Sizes: []int{2, 4, 6, 8}}
+}
+
+func (o Options) scale() float64 {
+	if o.Scale <= 0 || o.Scale > 1 {
+		return 0.08
+	}
+	return o.Scale
+}
+
+func (o Options) sizes() []int {
+	if len(o.Sizes) == 0 {
+		return []int{2, 4, 6, 8}
+	}
+	return o.Sizes
+}
+
+// runTX1 executes one workload on an n-node TX1 cluster with the given
+// NIC.
+func runTX1(w workloads.Workload, n int, prof network.Profile, scale float64) cluster.Result {
+	cfg := cluster.TX1Cluster(n, prof)
+	cfg.RanksPerNode = w.RanksPerNode()
+	if w.GPUAccelerated() {
+		cfg.FileServer = true
+	}
+	return cluster.New(cfg).Run(w.Body(workloads.Config{Scale: scale}))
+}
+
+// allWorkloads returns the paper's Fig. 1/2 x-axis: the seven GPGPU codes
+// followed by the NPB suite.
+func allWorkloads() []workloads.Workload {
+	return append(workloads.GPUWorkloads(), workloads.NPBWorkloads()...)
+}
+
+// table is a tiny text-table builder shared by the generators' String
+// methods.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.header)
+	for _, r := range t.rows {
+		line(r)
+	}
+	return b.String()
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"clustersoc/internal/network"
+	"clustersoc/internal/units"
+	"clustersoc/internal/workloads"
+)
+
+// NetRow is one workload at one cluster size under both networks — the
+// data behind Figs. 1 and 2.
+type NetRow struct {
+	Workload string
+	GPU      bool
+	Nodes    int
+
+	Runtime1G  float64
+	Runtime10G float64
+	Energy1G   float64
+	Energy10G  float64
+}
+
+// Speedup returns the Fig. 1 value: runtime(1G) / runtime(10G).
+func (r NetRow) Speedup() float64 { return r.Runtime1G / r.Runtime10G }
+
+// EnergyRatio returns the Fig. 2 value: energy(10G) / energy(1G); below 1
+// means the 10 GbE card pays for itself.
+func (r NetRow) EnergyRatio() float64 { return r.Energy10G / r.Energy1G }
+
+// NetworkChoice runs every workload at every cluster size under 1 GbE and
+// 10 GbE (Sec. III-B.1).
+type NetworkChoice struct {
+	Rows []NetRow
+}
+
+// Fig1 regenerates Figures 1 and 2 (they share the runs).
+func Fig1(o Options) *NetworkChoice {
+	out := &NetworkChoice{}
+	for _, w := range allWorkloads() {
+		for _, n := range o.sizes() {
+			r1 := runTX1(w, n, network.GigE, o.scale())
+			r10 := runTX1(w, n, network.TenGigE, o.scale())
+			out.Rows = append(out.Rows, NetRow{
+				Workload:   w.Name(),
+				GPU:        w.GPUAccelerated(),
+				Nodes:      n,
+				Runtime1G:  r1.Runtime,
+				Runtime10G: r10.Runtime,
+				Energy1G:   r1.EnergyJoules,
+				Energy10G:  r10.EnergyJoules,
+			})
+		}
+	}
+	return out
+}
+
+// AverageSpeedup returns the mean Fig. 1 speedup at one cluster size.
+func (nc *NetworkChoice) AverageSpeedup(nodes int) float64 {
+	sum, cnt := 0.0, 0
+	for _, r := range nc.Rows {
+		if r.Nodes == nodes {
+			sum += r.Speedup()
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return sum / float64(cnt)
+}
+
+// AverageEnergyImprovement returns the mean (1 - energy ratio) at one
+// cluster size: the paper reports ~X% energy-efficiency improvement at 8
+// nodes.
+func (nc *NetworkChoice) AverageEnergyImprovement(nodes int) float64 {
+	sum, cnt := 0.0, 0
+	for _, r := range nc.Rows {
+		if r.Nodes == nodes {
+			sum += 1 - r.EnergyRatio()
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return sum / float64(cnt)
+}
+
+// Row returns the entry for a workload at a size, or nil.
+func (nc *NetworkChoice) Row(name string, nodes int) *NetRow {
+	for i := range nc.Rows {
+		if nc.Rows[i].Workload == name && nc.Rows[i].Nodes == nodes {
+			return &nc.Rows[i]
+		}
+	}
+	return nil
+}
+
+// String renders the Fig. 1 + Fig. 2 data as a table.
+func (nc *NetworkChoice) String() string {
+	t := &table{header: []string{"workload", "nodes", "speedup(10G/1G)", "energy(10G/1G)"}}
+	for _, r := range nc.Rows {
+		t.add(r.Workload, f1(float64(r.Nodes)), f2(r.Speedup()), f2(r.EnergyRatio()))
+	}
+	return t.String()
+}
+
+// TrafficPoint is one point of the Fig. 3 scatter: average per-node DRAM
+// and network traffic for a GPGPU workload under one NIC, on 8 nodes.
+type TrafficPoint struct {
+	Workload string
+	Network  string
+	// Rates are per node, bytes/second, as the paper plots them.
+	DRAMRate float64
+	NetRate  float64
+}
+
+// Traffic holds Fig. 3.
+type Traffic struct {
+	Points []TrafficPoint
+}
+
+// Fig3 regenerates the DRAM-vs-network traffic scatter (8 nodes, both
+// NICs, GPGPU workloads).
+func Fig3(o Options) *Traffic {
+	out := &Traffic{}
+	const nodes = 8
+	for _, w := range workloads.GPUWorkloads() {
+		for _, prof := range []network.Profile{network.GigE, network.TenGigE} {
+			res := runTX1(w, nodes, prof, o.scale())
+			out.Points = append(out.Points, TrafficPoint{
+				Workload: w.Name(),
+				Network:  prof.Name,
+				DRAMRate: res.DRAMTrafficRate() / nodes,
+				NetRate:  res.NetTrafficRate() / nodes,
+			})
+		}
+	}
+	return out
+}
+
+// Point returns the entry for (workload, network name), or nil.
+func (tr *Traffic) Point(name, net string) *TrafficPoint {
+	for i := range tr.Points {
+		if tr.Points[i].Workload == name && tr.Points[i].Network == net {
+			return &tr.Points[i]
+		}
+	}
+	return nil
+}
+
+// String renders Fig. 3's points.
+func (tr *Traffic) String() string {
+	t := &table{header: []string{"workload", "network", "DRAM/node", "net/node"}}
+	for _, p := range tr.Points {
+		t.add(p.Workload, p.Network, units.Rate(p.DRAMRate), units.Rate(p.NetRate))
+	}
+	return t.String()
+}

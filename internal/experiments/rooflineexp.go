@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"math"
+
+	"clustersoc/internal/network"
+	"clustersoc/internal/roofline"
+	"clustersoc/internal/soc"
+	"clustersoc/internal/workloads"
+)
+
+// tx1RooflineModel builds the extended-roofline model for one TX1 node
+// under a NIC profile. Single-precision workloads (the AI codes) see the
+// FP32 roof; the scientific codes the FP64 roof.
+func tx1RooflineModel(prof network.Profile, singlePrecision bool) roofline.Model {
+	node := soc.JetsonTX1()
+	peak := node.GPU.PeakFP64()
+	if singlePrecision {
+		peak = node.GPU.PeakFP32()
+	}
+	return roofline.Model{
+		Name:         "TX1 + " + prof.Name,
+		PeakFlops:    peak,
+		MemBandwidth: node.GPU.MemBandwidth,
+		NetBandwidth: prof.Throughput,
+	}
+}
+
+// RooflineRow is one Table II row under one network.
+type RooflineRow struct {
+	Workload string
+	Network  string
+	roofline.Analysis
+}
+
+// Roofline holds Table II plus the Fig. 4 roof series.
+type Roofline struct {
+	Rows []RooflineRow
+	// Series1G and Series10G sample the memory/compute roof (identical
+	// curve; the network changes only the per-workload ceilings).
+	Series1G, Series10G []roofline.SeriesPoint
+	// Ceilings are the per-workload network roofs for Fig. 4's dashed
+	// lines, keyed by workload then network name.
+	Ceilings map[string]map[string]float64
+}
+
+// Table2 regenerates Table II and the Fig. 4 data: the extended-roofline
+// placement of every GPGPU workload at 8 nodes under both NICs.
+func Table2(o Options) *Roofline {
+	out := &Roofline{Ceilings: map[string]map[string]float64{}}
+	const nodes = 8
+	for _, w := range workloads.GPUWorkloads() {
+		single := w.Name() == "alexnet" || w.Name() == "googlenet"
+		for _, prof := range []network.Profile{network.GigE, network.TenGigE} {
+			res := runTX1(w, nodes, prof, o.scale())
+			model := tx1RooflineModel(prof, single)
+			pt := roofline.Point{
+				Name:       w.Name(),
+				FLOPs:      res.FLOPs / nodes,
+				DRAMBytes:  res.DRAMBytes / nodes,
+				NetBytes:   res.NetBytes / nodes,
+				Throughput: res.Throughput / nodes,
+			}
+			out.Rows = append(out.Rows, RooflineRow{
+				Workload: w.Name(),
+				Network:  prof.Name,
+				Analysis: model.Analyze(pt),
+			})
+			if out.Ceilings[w.Name()] == nil {
+				out.Ceilings[w.Name()] = map[string]float64{}
+			}
+			out.Ceilings[w.Name()][prof.Name] = model.NetworkCeiling(pt.NI())
+		}
+	}
+	m1 := tx1RooflineModel(network.GigE, false)
+	m10 := tx1RooflineModel(network.TenGigE, false)
+	out.Series1G = m1.MemorySeries(0.01, 100, 64)
+	out.Series10G = m10.MemorySeries(0.01, 100, 64)
+	return out
+}
+
+// Row returns the entry for (workload, network), or nil.
+func (rf *Roofline) Row(name, net string) *RooflineRow {
+	for i := range rf.Rows {
+		if rf.Rows[i].Workload == name && rf.Rows[i].Network == net {
+			return &rf.Rows[i]
+		}
+	}
+	return nil
+}
+
+// String renders Table II.
+func (rf *Roofline) String() string {
+	t := &table{header: []string{"benchmark", "net", "OI(F/B)", "NI(F/B)", "GFLOPS/node", "%peak", "limit"}}
+	for _, r := range rf.Rows {
+		ni := "inf"
+		if !math.IsInf(r.NI, 1) {
+			ni = f1(r.NI)
+		}
+		t.add(r.Workload, r.Network, f2(r.OI), ni, f2(r.Throughput/1e9), f1(r.PercentOfPeak), string(r.Limit))
+	}
+	return t.String()
+}

@@ -1,0 +1,165 @@
+// Package hetsched explores the scheduling question the paper raises at
+// Fig. 7 and explicitly defers ("workload scheduling in heterogeneous
+// systems is not a trivial task"): how to split divisible work between a
+// node's CPU cores and its integrated GPU.
+//
+// It provides two schedulers over the same task model:
+//
+//   - Static: a fixed GPU:CPU ratio, the paper's Fig. 7 sweep; and
+//   - Dynamic: greedy self-scheduling from a shared queue, which finds the
+//     throughput-optimal split without knowing the engines' speeds.
+//
+// The engines are described by their sustained FLOP/s, so the analysis is
+// closed-form testable, and the simulated experiment in Run matches it.
+package hetsched
+
+import (
+	"errors"
+	"sort"
+)
+
+// Engine is one execution resource (the GPU, or one CPU core).
+type Engine struct {
+	Name  string
+	Flops float64 // sustained FLOP/s on this kernel
+}
+
+// Task is one divisible chunk of work.
+type Task struct {
+	Flops float64
+}
+
+// Assignment records which engine ran which tasks.
+type Assignment struct {
+	Engine string
+	Tasks  int
+	Flops  float64
+	Busy   float64 // seconds of work
+	Finish float64 // completion time of the engine's last task
+}
+
+// Result is one schedule's outcome.
+type Result struct {
+	Makespan    float64
+	Assignments []Assignment
+}
+
+// Throughput returns total FLOPs over the makespan.
+func (r Result) Throughput() float64 {
+	total := 0.0
+	for _, a := range r.Assignments {
+		total += a.Flops
+	}
+	if r.Makespan <= 0 {
+		return 0
+	}
+	return total / r.Makespan
+}
+
+// Static splits the total work by fixed fractions (one per engine, must
+// sum to ~1) and returns the resulting makespan: each engine processes
+// its share sequentially.
+func Static(engines []Engine, totalFlops float64, fractions []float64) (Result, error) {
+	if len(engines) != len(fractions) {
+		return Result{}, errors.New("hetsched: one fraction per engine")
+	}
+	sum := 0.0
+	for _, f := range fractions {
+		if f < 0 {
+			return Result{}, errors.New("hetsched: negative fraction")
+		}
+		sum += f
+	}
+	if sum < 0.999 || sum > 1.001 {
+		return Result{}, errors.New("hetsched: fractions must sum to 1")
+	}
+	res := Result{}
+	for i, e := range engines {
+		fl := totalFlops * fractions[i]
+		t := 0.0
+		if e.Flops > 0 {
+			t = fl / e.Flops
+		}
+		res.Assignments = append(res.Assignments, Assignment{
+			Engine: e.Name, Flops: fl, Busy: t, Finish: t,
+		})
+		if t > res.Makespan {
+			res.Makespan = t
+		}
+	}
+	return res, nil
+}
+
+// Dynamic self-schedules the task list: whenever an engine is free it
+// takes the next task from the queue. Greedy list scheduling — the
+// 2-approximation that in practice lands within one task of optimal for
+// divisible work.
+func Dynamic(engines []Engine, tasks []Task) Result {
+	res := Result{Assignments: make([]Assignment, len(engines))}
+	free := make([]float64, len(engines))
+	for i, e := range engines {
+		res.Assignments[i].Engine = e.Name
+	}
+	for _, task := range tasks {
+		// Pick the engine that would finish this task first.
+		best, bestFinish := -1, 0.0
+		for i, e := range engines {
+			if e.Flops <= 0 {
+				continue
+			}
+			finish := free[i] + task.Flops/e.Flops
+			if best == -1 || finish < bestFinish {
+				best, bestFinish = i, finish
+			}
+		}
+		if best == -1 {
+			break
+		}
+		free[best] = bestFinish
+		a := &res.Assignments[best]
+		a.Tasks++
+		a.Flops += task.Flops
+		a.Busy += task.Flops / engines[best].Flops
+		a.Finish = bestFinish
+	}
+	for _, fr := range free {
+		if fr > res.Makespan {
+			res.Makespan = fr
+		}
+	}
+	return res
+}
+
+// OptimalFraction returns the makespan-optimal work fraction for each
+// engine: proportional to its speed.
+func OptimalFraction(engines []Engine) []float64 {
+	total := 0.0
+	for _, e := range engines {
+		total += e.Flops
+	}
+	out := make([]float64, len(engines))
+	if total == 0 {
+		return out
+	}
+	for i, e := range engines {
+		out[i] = e.Flops / total
+	}
+	return out
+}
+
+// SplitTasks divides totalFlops into n equal tasks.
+func SplitTasks(totalFlops float64, n int) []Task {
+	if n < 1 {
+		n = 1
+	}
+	out := make([]Task, n)
+	for i := range out {
+		out[i] = Task{Flops: totalFlops / float64(n)}
+	}
+	return out
+}
+
+// SortAssignments orders by engine name for stable output.
+func SortAssignments(as []Assignment) {
+	sort.Slice(as, func(i, j int) bool { return as[i].Engine < as[j].Engine })
+}

@@ -1,0 +1,143 @@
+package hetsched
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"clustersoc/internal/soc"
+)
+
+// tx1Engines models a TX1 node the way the Fig. 7 experiment does: the
+// GPU plus one CPU core.
+func tx1Engines() []Engine {
+	node := soc.JetsonTX1()
+	return []Engine{
+		{Name: "gpu", Flops: node.GPU.PeakFP64() * node.GPU.Efficiency},
+		{Name: "cpu-core", Flops: 1.5e9}, // one A57 core on DGEMM
+	}
+}
+
+func TestStaticAllGPUMatchesSpeed(t *testing.T) {
+	engines := tx1Engines()
+	res, err := Static(engines, 1e12, []float64{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1e12 / engines[0].Flops
+	if math.Abs(res.Makespan-want) > 1e-9 {
+		t.Fatalf("makespan %v, want %v", res.Makespan, want)
+	}
+}
+
+func TestStaticValidation(t *testing.T) {
+	engines := tx1Engines()
+	if _, err := Static(engines, 1, []float64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := Static(engines, 1, []float64{0.7, 0.7}); err == nil {
+		t.Fatal("fractions > 1 accepted")
+	}
+	if _, err := Static(engines, 1, []float64{1.5, -0.5}); err == nil {
+		t.Fatal("negative fraction accepted")
+	}
+}
+
+// The optimal static split balances completion times; any other split is
+// no faster.
+func TestOptimalFractionBalances(t *testing.T) {
+	engines := tx1Engines()
+	fr := OptimalFraction(engines)
+	res, err := Static(engines, 1e12, fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Assignments[0].Finish-res.Assignments[1].Finish) > 1e-6*res.Makespan {
+		t.Fatal("optimal split should equalize finish times")
+	}
+	f := func(raw uint8) bool {
+		x := float64(raw) / 255
+		other, err := Static(engines, 1e12, []float64{x, 1 - x})
+		if err != nil {
+			return true
+		}
+		return other.Makespan >= res.Makespan-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Dynamic self-scheduling approaches the optimal static split without
+// being told the engine speeds — the answer to the paper's deferred
+// scheduling question.
+func TestDynamicApproachesOptimal(t *testing.T) {
+	engines := tx1Engines()
+	total := 1e12
+	opt, _ := Static(engines, total, OptimalFraction(engines))
+	dyn := Dynamic(engines, SplitTasks(total, 512))
+	if dyn.Makespan > opt.Makespan*1.05 {
+		t.Fatalf("dynamic %v more than 5%% off optimal %v", dyn.Makespan, opt.Makespan)
+	}
+	// All work accounted for.
+	var flops float64
+	for _, a := range dyn.Assignments {
+		flops += a.Flops
+	}
+	if math.Abs(flops-total) > 1 {
+		t.Fatalf("lost work: %v of %v", flops, total)
+	}
+	// The GPU (20x faster than one core) must take the lion's share.
+	SortAssignments(dyn.Assignments)
+	var gpuShare float64
+	for _, a := range dyn.Assignments {
+		if a.Engine == "gpu" {
+			gpuShare = a.Flops / total
+		}
+	}
+	if gpuShare < 0.8 {
+		t.Fatalf("GPU share %v, want > 0.8", gpuShare)
+	}
+}
+
+// With coarser tasks the dynamic schedule degrades gracefully (never
+// better than the fine-grained one by more than rounding, never worse
+// than one task's worth).
+func TestDynamicGranularity(t *testing.T) {
+	engines := tx1Engines()
+	total := 1e12
+	fine := Dynamic(engines, SplitTasks(total, 1024))
+	coarse := Dynamic(engines, SplitTasks(total, 8))
+	if coarse.Makespan < fine.Makespan-1e-9 {
+		t.Fatal("coarse tasks cannot beat fine tasks")
+	}
+	maxTask := total / 8 / engines[1].Flops // worst case: last task on the slow core
+	if coarse.Makespan > fine.Makespan+maxTask {
+		t.Fatalf("coarse schedule worse than list-scheduling bound: %v vs %v + %v",
+			coarse.Makespan, fine.Makespan, maxTask)
+	}
+}
+
+func TestDynamicUsesAllEngines(t *testing.T) {
+	// Four equal cores: work splits evenly.
+	engines := []Engine{{"a", 1e9}, {"b", 1e9}, {"c", 1e9}, {"d", 1e9}}
+	res := Dynamic(engines, SplitTasks(4e9, 400))
+	for _, a := range res.Assignments {
+		if a.Tasks < 90 || a.Tasks > 110 {
+			t.Fatalf("uneven split across equal engines: %+v", res.Assignments)
+		}
+	}
+	if math.Abs(res.Makespan-1.0) > 0.02 {
+		t.Fatalf("makespan %v, want ~1s", res.Makespan)
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	engines := tx1Engines()
+	res := Dynamic(engines, SplitTasks(1e12, 256))
+	tp := res.Throughput()
+	sumSpeed := engines[0].Flops + engines[1].Flops
+	if tp > sumSpeed || tp < 0.9*sumSpeed {
+		t.Fatalf("throughput %v, want close to the aggregate %v", tp, sumSpeed)
+	}
+}

@@ -1,0 +1,287 @@
+package kernels
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestThomasSolveAgainstLU(t *testing.T) {
+	n := 24
+	rng := rand.New(rand.NewSource(4))
+	a := make([]float64, n)
+	b := make([]float64, n)
+	c := make([]float64, n)
+	d := make([]float64, n)
+	full := NewMatrix(n, n)
+	rhs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a[i] = rng.Float64()
+		c[i] = rng.Float64()
+		b[i] = 3 + rng.Float64() // diagonally dominant
+		d[i] = rng.NormFloat64()
+		rhs[i] = d[i]
+		full.Set(i, i, b[i])
+		if i > 0 {
+			full.Set(i, i-1, a[i])
+		}
+		if i < n-1 {
+			full.Set(i, i+1, c[i])
+		}
+	}
+	if err := ThomasSolve(a, b, c, d); err != nil {
+		t.Fatal(err)
+	}
+	lu, err := Factor(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := lu.Solve(rhs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(d[i]-want[i]) > 1e-9 {
+			t.Fatalf("x[%d] = %v, LU says %v", i, d[i], want[i])
+		}
+	}
+}
+
+func TestThomasSolveErrors(t *testing.T) {
+	if err := ThomasSolve(make([]float64, 2), make([]float64, 3), make([]float64, 3), make([]float64, 3)); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if err := ThomasSolve([]float64{0, 0}, []float64{0, 1}, []float64{0, 0}, []float64{1, 1}); err == nil {
+		t.Fatal("zero pivot accepted")
+	}
+	if err := ThomasSolve(nil, nil, nil, nil); err != nil {
+		t.Fatal("empty system should be a no-op")
+	}
+}
+
+// Property: the Thomas solution satisfies the original tridiagonal system.
+func TestThomasResidualProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + int(seed&7)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		c := make([]float64, n)
+		d := make([]float64, n)
+		orig := make([]float64, n)
+		for i := 0; i < n; i++ {
+			a[i] = rng.Float64()
+			c[i] = rng.Float64()
+			b[i] = 3 + rng.Float64()
+			d[i] = rng.NormFloat64()
+			orig[i] = d[i]
+		}
+		aa := append([]float64(nil), a...)
+		bb := append([]float64(nil), b...)
+		cc := append([]float64(nil), c...)
+		if err := ThomasSolve(aa, bb, cc, d); err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			got := b[i] * d[i]
+			if i > 0 {
+				got += a[i] * d[i-1]
+			}
+			if i < n-1 {
+				got += c[i] * d[i+1]
+			}
+			if math.Abs(got-orig[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ADI decays toward the steady state (zero with zero boundaries) and
+// conserves the sign structure of the heat equation.
+func TestADIHeatDecays(t *testing.T) {
+	n := 32
+	h := 1.0 / float64(n+1)
+	u := NewGrid2D(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			x, y := float64(i+1)*h, float64(j+1)*h
+			u.Set(i, j, math.Sin(math.Pi*x)*math.Sin(math.Pi*y))
+		}
+	}
+	energy := func() float64 {
+		s := 0.0
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				s += u.At(i, j) * u.At(i, j)
+			}
+		}
+		return s
+	}
+	e0 := energy()
+	dt := 0.01 // far beyond the explicit stability limit h^2/4
+	prev := e0
+	for s := 0; s < 10; s++ {
+		if err := ADIHeat2D(u, dt, h); err != nil {
+			t.Fatal(err)
+		}
+		e := energy()
+		if e >= prev {
+			t.Fatalf("energy did not decay: %v -> %v", prev, e)
+		}
+		prev = e
+	}
+	if prev > 0.1*e0 {
+		t.Fatalf("decay too slow: %v of %v left", prev, e0)
+	}
+}
+
+// The fundamental mode of the heat equation decays as exp(-2 pi^2 t);
+// ADI must track that rate within discretization error.
+func TestADIDecayRate(t *testing.T) {
+	n := 48
+	h := 1.0 / float64(n+1)
+	u := NewGrid2D(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			x, y := float64(i+1)*h, float64(j+1)*h
+			u.Set(i, j, math.Sin(math.Pi*x)*math.Sin(math.Pi*y))
+		}
+	}
+	dt := 0.002
+	steps := 20
+	for s := 0; s < steps; s++ {
+		if err := ADIHeat2D(u, dt, h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tEnd := dt * float64(steps)
+	want := math.Exp(-2 * math.Pi * math.Pi * tEnd)
+	got := u.At(n/2-1, n/2-1) / math.Sin(math.Pi*0.5*float64(n)/float64(n+1)) // ~ center amplitude
+	if math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("decay factor %v, analytic %v", got, want)
+	}
+}
+
+func TestSSORSolvesPoisson(t *testing.T) {
+	n := 32
+	h := 1.0 / float64(n+1)
+	f := NewGrid2D(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			f.Set(i, j, 1)
+		}
+	}
+	u, iters := SolveSSOR(f, h, 1.5, 1e-6, 2000)
+	if iters >= 2000 {
+		t.Fatalf("SSOR did not converge (residual %v)", PoissonResidual(u, f, h))
+	}
+	// SSOR with over-relaxation beats plain Jacobi on sweep count.
+	_, jIters := SolveJacobi(f, h, 1e-9, 20000)
+	if iters*2 >= jIters { // each SSOR iteration is two sweeps
+		t.Errorf("SSOR (%d symmetric iters) not faster than Jacobi (%d sweeps)", iters, jIters)
+	}
+}
+
+func TestMG3DSolves(t *testing.T) {
+	n := 15 // 2^4 - 1
+	h := 1.0 / float64(n+1)
+	f := NewGrid3D(n, n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				f.Set(i, j, k, 1)
+			}
+		}
+	}
+	u, cycles := MGSolve3D(f, h, 1e-6, 60)
+	if cycles >= 60 {
+		t.Fatalf("3D multigrid did not converge (residual %v)", Residual3D(u, f, h))
+	}
+	if r := Residual3D(u, f, h); r > 1e-6 {
+		t.Fatalf("residual %v", r)
+	}
+	// Solution of -lap u = 1 on the unit cube is positive inside.
+	if u.At(n/2, n/2, n/2) <= 0 {
+		t.Fatal("interior solution should be positive")
+	}
+}
+
+func TestStreamKernels(t *testing.T) {
+	n := 4096
+	res := RunStream(n, 2)
+	if len(res) != 4 {
+		t.Fatalf("%d results", len(res))
+	}
+	names := []string{"Copy", "Scale", "Add", "Triad"}
+	for i, r := range res {
+		if r.Name != names[i] {
+			t.Fatalf("order %v", res)
+		}
+		if r.BytesPer <= 0 {
+			t.Fatalf("%s reported no bandwidth", r.Name)
+		}
+	}
+	// Functional checks.
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	c := make([]float64, 3)
+	StreamAdd(a, b, c)
+	if c[2] != 9 {
+		t.Fatal("add wrong")
+	}
+	StreamTriad(c, a, b, 2)
+	if c[0] != 1+2*4 {
+		t.Fatal("triad wrong")
+	}
+	StreamScale(c, b, 3)
+	if c[1] != 15 {
+		t.Fatal("scale wrong")
+	}
+	StreamCopy(a, c)
+	if c[2] != 3 {
+		t.Fatal("copy wrong")
+	}
+}
+
+func TestADIFlopsPositive(t *testing.T) {
+	if ADIStepFlops(10, 10) <= 0 || SSORSweepFlops(10, 10) <= 0 {
+		t.Fatal("count helpers broken")
+	}
+}
+
+func TestGUPSVerifies(t *testing.T) {
+	res := RunGUPS(16, 50000)
+	if res.TableWords != 1<<16 || res.Updates != 50000 {
+		t.Fatalf("result header %+v", res)
+	}
+	if !VerifyGUPS(res, 16) {
+		t.Fatal("GUPS self-verification failed")
+	}
+	// A different update count must change the checksum (overwhelmingly).
+	other := RunGUPS(16, 50001)
+	if other.Checksum == res.Checksum {
+		t.Fatal("checksum insensitive to the update stream")
+	}
+}
+
+func TestHPCCGeneratorPeriodicity(t *testing.T) {
+	// The LFSR must not get stuck and must be deterministic.
+	a, b := hpccStart(0), hpccStart(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		a, b = hpccNext(a), hpccNext(b)
+		if a != b {
+			t.Fatal("generator not deterministic")
+		}
+		if seen[a] {
+			t.Fatalf("cycle after %d steps", i)
+		}
+		seen[a] = true
+	}
+}

@@ -1,0 +1,57 @@
+package kernels
+
+import "math"
+
+// EPResult mirrors NPB ep's output: counts of Gaussian pairs per annulus
+// and the sums of the deviates.
+type EPResult struct {
+	Counts [10]int64
+	SumX   float64
+	SumY   float64
+	Pairs  int64
+}
+
+// EmbarrassinglyParallel generates n pairs of uniform deviates with NPB's
+// LCG, applies the Marsaglia polar method, and tallies acceptance annuli —
+// the whole of NPB ep, which has essentially no communication and is the
+// paper's control workload for network studies.
+func EmbarrassinglyParallel(n int, seed float64) EPResult {
+	r := NewNPBRandom(seed)
+	var res EPResult
+	for i := 0; i < n; i++ {
+		x := 2*r.Next() - 1
+		y := 2*r.Next() - 1
+		t := x*x + y*y
+		if t > 1 || t == 0 {
+			continue
+		}
+		f := math.Sqrt(-2 * math.Log(t) / t)
+		gx, gy := x*f, y*f
+		m := int(math.Max(math.Abs(gx), math.Abs(gy)))
+		if m > 9 {
+			m = 9
+		}
+		res.Counts[m]++
+		res.SumX += gx
+		res.SumY += gy
+		res.Pairs++
+	}
+	return res
+}
+
+// Merge combines partial results from independent streams, the only
+// communication ep ever does (a tiny final reduction).
+func (a EPResult) Merge(b EPResult) EPResult {
+	out := a
+	for i := range out.Counts {
+		out.Counts[i] += b.Counts[i]
+	}
+	out.SumX += b.SumX
+	out.SumY += b.SumY
+	out.Pairs += b.Pairs
+	return out
+}
+
+// EPFlopsPerPair is the approximate FLOPs spent per generated pair
+// (two LCG updates, the polar test, sqrt/log on accepted pairs).
+const EPFlopsPerPair = 30

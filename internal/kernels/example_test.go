@@ -1,0 +1,68 @@
+package kernels_test
+
+import (
+	"fmt"
+
+	"clustersoc/internal/kernels"
+)
+
+// Factor and solve a small system — the core of the hpl benchmark.
+func ExampleFactor() {
+	a := kernels.NewMatrix(2, 2)
+	a.Set(0, 0, 4)
+	a.Set(0, 1, 3)
+	a.Set(1, 0, 6)
+	a.Set(1, 1, 3)
+	lu, err := kernels.Factor(a)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	x, err := lu.Solve([]float64{10, 12})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("x = [%.0f %.0f]\n", x[0], x[1])
+	fmt.Printf("scaled residual %.2g < 16: %v\n",
+		kernels.Residual(a, x, []float64{10, 12}),
+		kernels.Residual(a, x, []float64{10, 12}) < 16)
+	// Output:
+	// x = [1 2]
+	// scaled residual 0 < 16: true
+}
+
+// Solve tealeaf's implicit heat system with conjugate gradients.
+func ExampleConjugateGradient() {
+	op := &kernels.HeatOperator2D{NX: 8, NY: 8, Tau: 0.25}
+	b := make([]float64, op.Len())
+	for i := range b {
+		b[i] = 1
+	}
+	x := make([]float64, op.Len())
+	res, err := kernels.ConjugateGradient(op, x, b, 1e-10, 200)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("converged in under %d iterations: %v\n", 50, res.Iterations < 50)
+	fmt.Printf("residual below tolerance: %v\n", res.Residual <= 1e-10)
+	// Output:
+	// converged in under 50 iterations: true
+	// residual below tolerance: true
+}
+
+// The Thomas algorithm solves bt/sp's tridiagonal systems in O(n).
+func ExampleThomasSolve() {
+	a := []float64{0, -1, -1}
+	b := []float64{2, 2, 2}
+	c := []float64{-1, -1, 0}
+	d := []float64{1, 0, 1}
+	if err := kernels.ThomasSolve(a, b, c, d); err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("x = [%.1f %.1f %.1f]\n", d[0], d[1], d[2])
+	// Output:
+	// x = [1.0 1.0 1.0]
+}

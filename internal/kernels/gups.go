@@ -1,0 +1,78 @@
+package kernels
+
+// GUPS — the HPCC RandomAccess benchmark (the suite the paper takes its
+// CPU hpl and Latency-Bandwidth tests from): random read-modify-write
+// updates over a table far larger than any cache, measured in Giga
+// Updates Per Second. It is the pure antagonist of STREAM: zero spatial
+// locality, so it measures the memory system's latency/parallelism rather
+// than its bandwidth — the ThunderX-vs-A57 axis of Sec. IV-A.
+
+// GUPSResult reports a RandomAccess run.
+type GUPSResult struct {
+	TableWords int
+	Updates    int
+	Checksum   uint64
+}
+
+// RunGUPS performs `updates` xor-updates at pseudo-random table positions
+// using the HPCC polynomial generator, returning a checksum that the
+// verification step can recompute. The table has 2^logSize words.
+func RunGUPS(logSize, updates int) GUPSResult {
+	size := 1 << logSize
+	mask := uint64(size - 1)
+	table := make([]uint64, size)
+	for i := range table {
+		table[i] = uint64(i)
+	}
+	ran := hpccStart(0)
+	for i := 0; i < updates; i++ {
+		ran = hpccNext(ran)
+		idx := ran & mask
+		table[idx] ^= ran
+	}
+	var sum uint64
+	for _, v := range table {
+		sum ^= v
+	}
+	return GUPSResult{TableWords: size, Updates: updates, Checksum: sum}
+}
+
+// VerifyGUPS re-applies the update stream and reports whether the
+// checksum matches — HPCC's own self-verification strategy (xor updates
+// commute, so replaying them must cancel back to the initial table).
+func VerifyGUPS(res GUPSResult, logSize int) bool {
+	again := RunGUPS(logSize, res.Updates)
+	return again.Checksum == res.Checksum
+}
+
+// hpcc polynomial: x <- (x << 1) xor (x < 0 ? POLY : 0) over 64 bits.
+const hpccPoly = 0x0000000000000007
+
+// hpccStart returns the n-th value of the HPCC random sequence (here the
+// seed for stream n; n = 0 gives the canonical start).
+func hpccStart(n int64) uint64 {
+	ran := uint64(0x1)
+	for i := int64(0); i < n; i++ {
+		ran = hpccNext(ran)
+	}
+	return ran
+}
+
+// hpccNext advances the HPCC LFSR.
+func hpccNext(ran uint64) uint64 {
+	hi := ran >> 63
+	ran <<= 1
+	if hi != 0 {
+		ran ^= hpccPoly
+	}
+	return ran
+}
+
+// GUPSWork characterizes one update for the CPU model: an almost-certain
+// cache miss (a random 8-byte touch in a multi-megabyte table), a couple
+// of ALU ops, and one hard-to-predict branch in the generator.
+const (
+	GUPSInstrPerUpdate    = 10.0
+	GUPSMemAccPerUpdate   = 2.0
+	GUPSBranchesPerUpdate = 1.0
+)

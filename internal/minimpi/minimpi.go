@@ -1,0 +1,261 @@
+// Package minimpi is a real, in-process message-passing runtime: ranks
+// are goroutines, messages are typed float64/int32 slices moving through
+// channels. It exists alongside the *simulated* MPI of internal/mpi for
+// two reasons:
+//
+//  1. internal/apps uses it to run genuinely distributed versions of the
+//     paper's algorithms (Jacobi, CG, FFT transpose, bucket sort, EP) and
+//     verify them against the serial kernels — proving the communication
+//     schedules the workload models charge for are the ones the real
+//     algorithms need; and
+//  2. it is the library a user would actually program against when moving
+//     code onto a cluster like the paper's.
+//
+// Collectives reduce in rank order, so results are bit-deterministic.
+package minimpi
+
+import (
+	"fmt"
+	"sync"
+)
+
+// message is one typed payload.
+type message struct {
+	tag int
+	f64 []float64
+	i32 []int32
+}
+
+// World connects n ranks with buffered point-to-point channels.
+type World struct {
+	n     int
+	chans [][]chan message // chans[src][dst]
+}
+
+// NewWorld creates a communicator for n ranks.
+func NewWorld(n int) *World {
+	if n < 1 {
+		panic("minimpi: need at least one rank")
+	}
+	w := &World{n: n, chans: make([][]chan message, n)}
+	for s := 0; s < n; s++ {
+		w.chans[s] = make([]chan message, n)
+		for d := 0; d < n; d++ {
+			// Deep buffering keeps simple send-then-receive exchange
+			// patterns deadlock-free, like eager MPI.
+			w.chans[s][d] = make(chan message, 64)
+		}
+	}
+	return w
+}
+
+// Size returns the rank count.
+func (w *World) Size() int { return w.n }
+
+// Run spawns body on every rank and waits for all to finish.
+func (w *World) Run(body func(r *Rank)) {
+	var wg sync.WaitGroup
+	for id := 0; id < w.n; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			body(&Rank{ID: id, w: w})
+		}(id)
+	}
+	wg.Wait()
+}
+
+// Rank is one process's handle.
+type Rank struct {
+	ID int
+	w  *World
+}
+
+// Size returns the communicator size.
+func (r *Rank) Size() int { return r.w.n }
+
+func (r *Rank) check(peer int) {
+	if peer < 0 || peer >= r.w.n {
+		panic(fmt.Sprintf("minimpi: peer %d out of range [0,%d)", peer, r.w.n))
+	}
+}
+
+// Send transmits a float64 slice to dst (the data is copied; the caller
+// keeps ownership of its buffer).
+func (r *Rank) Send(dst, tag int, data []float64) {
+	r.check(dst)
+	cp := append([]float64(nil), data...)
+	r.w.chans[r.ID][dst] <- message{tag: tag, f64: cp}
+}
+
+// Recv blocks for a float64 message from src with the tag. Out-of-order
+// tags are not supported (each (src,dst) pair is a FIFO); mismatches
+// panic, which in this library means a program bug.
+func (r *Rank) Recv(src, tag int) []float64 {
+	r.check(src)
+	m := <-r.w.chans[src][r.ID]
+	if m.tag != tag {
+		panic(fmt.Sprintf("minimpi: rank %d expected tag %d from %d, got %d", r.ID, tag, src, m.tag))
+	}
+	return m.f64
+}
+
+// SendInts transmits an int32 slice (the bucket-sort key exchange).
+func (r *Rank) SendInts(dst, tag int, data []int32) {
+	r.check(dst)
+	cp := append([]int32(nil), data...)
+	r.w.chans[r.ID][dst] <- message{tag: tag, i32: cp}
+}
+
+// RecvInts blocks for an int32 message.
+func (r *Rank) RecvInts(src, tag int) []int32 {
+	r.check(src)
+	m := <-r.w.chans[src][r.ID]
+	if m.tag != tag {
+		panic(fmt.Sprintf("minimpi: rank %d expected tag %d from %d, got %d", r.ID, tag, src, m.tag))
+	}
+	return m.i32
+}
+
+// Sendrecv exchanges float64 slices with two peers without deadlock.
+func (r *Rank) Sendrecv(dst, src, tag int, data []float64) []float64 {
+	r.Send(dst, tag, data)
+	return r.Recv(src, tag)
+}
+
+// Barrier synchronizes all ranks (gather-to-0 + broadcast).
+func (r *Rank) Barrier() {
+	const tag = -1
+	if r.ID == 0 {
+		for s := 1; s < r.w.n; s++ {
+			r.Recv(s, tag)
+		}
+		for d := 1; d < r.w.n; d++ {
+			r.Send(d, tag, nil)
+		}
+		return
+	}
+	r.Send(0, tag, nil)
+	r.Recv(0, tag)
+}
+
+// Bcast distributes root's data to every rank and returns each rank's
+// copy (root's argument is returned as-is on root).
+func (r *Rank) Bcast(root, tag int, data []float64) []float64 {
+	if r.w.n == 1 {
+		return data
+	}
+	if r.ID == root {
+		for d := 0; d < r.w.n; d++ {
+			if d != root {
+				r.Send(d, tag, data)
+			}
+		}
+		return data
+	}
+	return r.Recv(root, tag)
+}
+
+// ReduceOp combines two accumulators elementwise.
+type ReduceOp func(acc, v float64) float64
+
+// Sum is the addition reduction.
+func Sum(a, v float64) float64 { return a + v }
+
+// Max is the maximum reduction.
+func Max(a, v float64) float64 {
+	if v > a {
+		return v
+	}
+	return a
+}
+
+// Allreduce combines each rank's vector elementwise with op and returns
+// the combined vector on every rank. Reduction happens on rank 0 in rank
+// order, so floating-point results are deterministic.
+func (r *Rank) Allreduce(tag int, data []float64, op ReduceOp) []float64 {
+	if r.w.n == 1 {
+		return append([]float64(nil), data...)
+	}
+	if r.ID == 0 {
+		acc := append([]float64(nil), data...)
+		for s := 1; s < r.w.n; s++ {
+			v := r.Recv(s, tag)
+			for i := range acc {
+				acc[i] = op(acc[i], v[i])
+			}
+		}
+		for d := 1; d < r.w.n; d++ {
+			r.Send(d, tag, acc)
+		}
+		return acc
+	}
+	r.Send(0, tag, data)
+	return r.Recv(0, tag)
+}
+
+// AllreduceScalar reduces a single value.
+func (r *Rank) AllreduceScalar(tag int, v float64, op ReduceOp) float64 {
+	return r.Allreduce(tag, []float64{v}, op)[0]
+}
+
+// Alltoall sends chunks[d] to every rank d and returns the received
+// chunks indexed by source (chunks[r.ID] round-trips locally).
+func (r *Rank) Alltoall(tag int, chunks [][]float64) [][]float64 {
+	n := r.w.n
+	if len(chunks) != n {
+		panic("minimpi: Alltoall needs one chunk per rank")
+	}
+	for d := 0; d < n; d++ {
+		if d != r.ID {
+			r.Send(d, tag, chunks[d])
+		}
+	}
+	out := make([][]float64, n)
+	out[r.ID] = append([]float64(nil), chunks[r.ID]...)
+	for s := 0; s < n; s++ {
+		if s != r.ID {
+			out[s] = r.Recv(s, tag)
+		}
+	}
+	return out
+}
+
+// AlltoallInts is Alltoall for int32 key exchanges; chunk sizes may
+// differ per destination (an MPI_Alltoallv).
+func (r *Rank) AlltoallInts(tag int, chunks [][]int32) [][]int32 {
+	n := r.w.n
+	if len(chunks) != n {
+		panic("minimpi: AlltoallInts needs one chunk per rank")
+	}
+	for d := 0; d < n; d++ {
+		if d != r.ID {
+			r.SendInts(d, tag, chunks[d])
+		}
+	}
+	out := make([][]int32, n)
+	out[r.ID] = append([]int32(nil), chunks[r.ID]...)
+	for s := 0; s < n; s++ {
+		if s != r.ID {
+			out[s] = r.RecvInts(s, tag)
+		}
+	}
+	return out
+}
+
+// Gather collects each rank's slice on root (ordered by rank); non-root
+// ranks receive nil.
+func (r *Rank) Gather(root, tag int, data []float64) [][]float64 {
+	if r.ID != root {
+		r.Send(root, tag, data)
+		return nil
+	}
+	out := make([][]float64, r.w.n)
+	out[root] = append([]float64(nil), data...)
+	for s := 0; s < r.w.n; s++ {
+		if s != root {
+			out[s] = r.Recv(s, tag)
+		}
+	}
+	return out
+}

@@ -1,0 +1,182 @@
+package minimpi
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestSendRecv(t *testing.T) {
+	w := NewWorld(2)
+	var got []float64
+	w.Run(func(r *Rank) {
+		if r.ID == 0 {
+			r.Send(1, 5, []float64{1, 2, 3})
+		} else {
+			got = r.Recv(0, 5)
+		}
+	})
+	if len(got) != 3 || got[2] != 3 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestSendCopiesData(t *testing.T) {
+	w := NewWorld(2)
+	var got []float64
+	w.Run(func(r *Rank) {
+		if r.ID == 0 {
+			buf := []float64{42}
+			r.Send(1, 1, buf)
+			buf[0] = -1 // mutate after send; receiver must see 42
+			r.Barrier()
+		} else {
+			got = r.Recv(0, 1)
+			r.Barrier()
+		}
+	})
+	if got[0] != 42 {
+		t.Fatal("send must copy the payload")
+	}
+}
+
+func TestBarrierOrdersSides(t *testing.T) {
+	w := NewWorld(4)
+	var before, after int64
+	w.Run(func(r *Rank) {
+		atomic.AddInt64(&before, 1)
+		r.Barrier()
+		if atomic.LoadInt64(&before) != 4 {
+			atomic.AddInt64(&after, 1) // someone left before all arrived
+		}
+	})
+	if after != 0 {
+		t.Fatal("barrier leaked")
+	}
+}
+
+func TestBcast(t *testing.T) {
+	w := NewWorld(5)
+	results := make([][]float64, 5)
+	w.Run(func(r *Rank) {
+		var data []float64
+		if r.ID == 2 {
+			data = []float64{3.14, 2.72}
+		}
+		results[r.ID] = r.Bcast(2, 7, data)
+	})
+	for id, res := range results {
+		if len(res) != 2 || res[0] != 3.14 {
+			t.Fatalf("rank %d got %v", id, res)
+		}
+	}
+}
+
+func TestAllreduceSumMatchesSerial(t *testing.T) {
+	f := func(vals [6]int8) bool {
+		w := NewWorld(3)
+		results := make([][]float64, 3)
+		w.Run(func(r *Rank) {
+			contrib := []float64{float64(vals[r.ID*2]), float64(vals[r.ID*2+1])}
+			results[r.ID] = r.Allreduce(9, contrib, Sum)
+		})
+		want0 := float64(vals[0]) + float64(vals[2]) + float64(vals[4])
+		want1 := float64(vals[1]) + float64(vals[3]) + float64(vals[5])
+		for _, res := range results {
+			if math.Abs(res[0]-want0) > 1e-12 || math.Abs(res[1]-want1) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceMax(t *testing.T) {
+	w := NewWorld(4)
+	var out float64
+	w.Run(func(r *Rank) {
+		v := r.AllreduceScalar(3, float64(r.ID*r.ID), Max)
+		if r.ID == 0 {
+			out = v
+		}
+	})
+	if out != 9 {
+		t.Fatalf("max = %v", out)
+	}
+}
+
+func TestAlltoallPermutesChunks(t *testing.T) {
+	n := 4
+	w := NewWorld(n)
+	results := make([][][]float64, n)
+	w.Run(func(r *Rank) {
+		chunks := make([][]float64, n)
+		for d := 0; d < n; d++ {
+			chunks[d] = []float64{float64(r.ID*10 + d)}
+		}
+		results[r.ID] = r.Alltoall(4, chunks)
+	})
+	for me := 0; me < n; me++ {
+		for src := 0; src < n; src++ {
+			want := float64(src*10 + me)
+			if results[me][src][0] != want {
+				t.Fatalf("rank %d chunk from %d = %v, want %v", me, src, results[me][src][0], want)
+			}
+		}
+	}
+}
+
+func TestAlltoallIntsVariableSizes(t *testing.T) {
+	n := 3
+	w := NewWorld(n)
+	results := make([][][]int32, n)
+	w.Run(func(r *Rank) {
+		chunks := make([][]int32, n)
+		for d := 0; d < n; d++ {
+			for k := 0; k <= r.ID; k++ { // rank r sends r+1 keys everywhere
+				chunks[d] = append(chunks[d], int32(r.ID))
+			}
+		}
+		results[r.ID] = r.AlltoallInts(5, chunks)
+	})
+	for me := 0; me < n; me++ {
+		for src := 0; src < n; src++ {
+			if len(results[me][src]) != src+1 {
+				t.Fatalf("rank %d got %d keys from %d, want %d", me, len(results[me][src]), src, src+1)
+			}
+		}
+	}
+}
+
+func TestGatherOrdersByRank(t *testing.T) {
+	w := NewWorld(4)
+	var parts [][]float64
+	w.Run(func(r *Rank) {
+		got := r.Gather(1, 8, []float64{float64(r.ID)})
+		if r.ID == 1 {
+			parts = got
+		}
+	})
+	for i, p := range parts {
+		if p[0] != float64(i) {
+			t.Fatalf("gather out of order: %v", parts)
+		}
+	}
+}
+
+func TestSingleRankCollectivesAreLocal(t *testing.T) {
+	w := NewWorld(1)
+	w.Run(func(r *Rank) {
+		if v := r.AllreduceScalar(1, 5, Sum); v != 5 {
+			t.Errorf("allreduce %v", v)
+		}
+		if b := r.Bcast(0, 2, []float64{1}); b[0] != 1 {
+			t.Errorf("bcast %v", b)
+		}
+		r.Barrier()
+	})
+}

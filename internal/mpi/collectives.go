@@ -1,0 +1,211 @@
+package mpi
+
+import (
+	"math/bits"
+
+	"clustersoc/internal/sim"
+)
+
+// nextTag returns a fresh collective tag for this rank. All ranks invoke
+// collectives in the same program order, so per-rank counters stay in
+// lockstep and match across the communicator.
+func (c *Comm) nextTag(rank int) int {
+	c.cseq[rank]++
+	return collTagBase + c.cseq[rank]
+}
+
+// highestBit returns the largest power of two <= v (v > 0).
+func highestBit(v int) int { return 1 << (bits.Len(uint(v)) - 1) }
+
+// bcastLargeThreshold switches Bcast from the binomial tree to the
+// van-de-Geijn scatter + ring-allgather algorithm, whose cost stays near
+// 2*bytes/bandwidth regardless of the tree depth — what MPI libraries do
+// for large payloads such as hpl's panels.
+const bcastLargeThreshold = 256 * 1024
+
+// Bcast broadcasts bytes from root to every rank: a binomial tree
+// (log2(P) rounds) for small messages, scatter + allgather for large.
+func (c *Comm) Bcast(p *sim.Process, rank, root int, bytes float64) {
+	n := c.Size()
+	if n == 1 {
+		return
+	}
+	if bytes >= bcastLargeThreshold && n > 2 {
+		tag := c.nextTag(rank)
+		c.scatterFromRoot(p, rank, root, bytes, tag)
+		c.Allgather(p, rank, bytes/float64(n))
+		return
+	}
+	tag := c.nextTag(rank)
+	vrank := (rank - root + n) % n
+	real := func(v int) int { return (v + root) % n }
+
+	mask := 1
+	if vrank != 0 {
+		hb := highestBit(vrank)
+		c.Recv(p, rank, real(vrank-hb), tag)
+		mask = hb << 1
+	}
+	for ; vrank+mask < n; mask <<= 1 {
+		c.Send(p, rank, real(vrank+mask), tag, bytes)
+	}
+}
+
+// scatterFromRoot distributes 1/n of bytes to each rank down a binomial
+// tree: each hop forwards the portion covering the receiver's subtree.
+func (c *Comm) scatterFromRoot(p *sim.Process, rank, root int, bytes float64, tag int) {
+	n := c.Size()
+	vrank := (rank - root + n) % n
+	real := func(v int) int { return (v + root) % n }
+	chunk := bytes / float64(n)
+
+	mask := 1
+	if vrank != 0 {
+		hb := highestBit(vrank)
+		c.Recv(p, rank, real(vrank-hb), tag)
+		mask = hb << 1
+	}
+	for ; vrank+mask < n; mask <<= 1 {
+		// The receiver owns the subtree [vrank+mask, min(vrank+2*mask, n)).
+		sub := mask
+		if vrank+mask+sub > n {
+			sub = n - vrank - mask
+		}
+		c.Send(p, rank, real(vrank+mask), tag, chunk*float64(sub))
+	}
+}
+
+// Reduce combines bytes from every rank onto root with a binomial tree
+// (the mirror image of Bcast).
+func (c *Comm) Reduce(p *sim.Process, rank, root int, bytes float64) {
+	n := c.Size()
+	if n == 1 {
+		return
+	}
+	tag := c.nextTag(rank)
+	vrank := (rank - root + n) % n
+	real := func(v int) int { return (v + root) % n }
+
+	// Receive from children (largest subtree first, mirroring Bcast's send
+	// order reversed), then send to parent. In a binomial tree the children
+	// of vrank v are v+m for every power of two m > v with v+m < n.
+	var children []int
+	for m := 1; vrank+m < n; m <<= 1 {
+		if m > vrank {
+			children = append(children, vrank+m)
+		}
+	}
+	for i := len(children) - 1; i >= 0; i-- {
+		c.Recv(p, rank, real(children[i]), tag)
+	}
+	if vrank != 0 {
+		c.Send(p, rank, real(vrank-highestBit(vrank)), tag, bytes)
+	}
+}
+
+// allreduceLargeThreshold switches Allreduce from recursive doubling
+// (which moves the full vector every round) to Rabenseifner's
+// reduce-scatter + allgather, whose volume stays near 2*bytes per rank —
+// the large-message algorithm production MPIs use.
+const allreduceLargeThreshold = 512 * 1024
+
+// Allreduce combines bytes across all ranks and leaves the result
+// everywhere. Power-of-two communicators use recursive doubling for
+// small vectors and Rabenseifner's algorithm for large ones; other sizes
+// fall back to Reduce + Bcast.
+func (c *Comm) Allreduce(p *sim.Process, rank int, bytes float64) {
+	n := c.Size()
+	if n == 1 {
+		return
+	}
+	if n&(n-1) != 0 {
+		c.Reduce(p, rank, 0, bytes)
+		c.Bcast(p, rank, 0, bytes)
+		return
+	}
+	tag := c.nextTag(rank)
+	if bytes >= allreduceLargeThreshold && n > 2 {
+		// Reduce-scatter by recursive halving: each round exchanges half
+		// of the remaining vector with the partner.
+		part := bytes / 2
+		for mask := 1; mask < n; mask <<= 1 {
+			partner := rank ^ mask
+			c.Sendrecv(p, rank, partner, partner, tag+mask, part, part)
+			part /= 2
+		}
+		// Allgather by recursive doubling: the owned 1/n chunk grows back.
+		part = bytes / float64(n)
+		for mask := n >> 1; mask >= 1; mask >>= 1 {
+			partner := rank ^ mask
+			c.Sendrecv(p, rank, partner, partner, tag+8*n+mask, part, part)
+			part *= 2
+		}
+		return
+	}
+	for mask := 1; mask < n; mask <<= 1 {
+		partner := rank ^ mask
+		c.Sendrecv(p, rank, partner, partner, tag+mask, bytes, bytes)
+	}
+}
+
+// Barrier synchronizes all ranks (an 8-byte allreduce).
+func (c *Comm) Barrier(p *sim.Process, rank int) {
+	c.Allreduce(p, rank, 8)
+}
+
+// Allgather distributes each rank's bytes-sized contribution to everyone
+// using a ring: P-1 rounds, each forwarding one chunk to the right.
+func (c *Comm) Allgather(p *sim.Process, rank int, bytes float64) {
+	n := c.Size()
+	if n == 1 {
+		return
+	}
+	tag := c.nextTag(rank)
+	right := (rank + 1) % n
+	left := (rank - 1 + n) % n
+	for step := 0; step < n-1; step++ {
+		c.Sendrecv(p, rank, right, left, tag, bytes, bytes)
+	}
+}
+
+// Alltoall exchanges bytesPerPair between every pair of ranks using the
+// pairwise-exchange algorithm (P-1 balanced rounds), as large FT/IS
+// transposes do.
+func (c *Comm) Alltoall(p *sim.Process, rank int, bytesPerPair float64) {
+	n := c.Size()
+	if n == 1 {
+		return
+	}
+	tag := c.nextTag(rank)
+	pow2 := n&(n-1) == 0
+	for step := 1; step < n; step++ {
+		var sendTo, recvFrom int
+		if pow2 {
+			sendTo = rank ^ step
+			recvFrom = sendTo
+		} else {
+			sendTo = (rank + step) % n
+			recvFrom = (rank - step + n) % n
+		}
+		c.Sendrecv(p, rank, sendTo, recvFrom, tag+step, bytesPerPair, bytesPerPair)
+	}
+}
+
+// Gather collects bytes from every rank to root with direct sends (fan-in
+// serializes at root's NIC, which is physical).
+func (c *Comm) Gather(p *sim.Process, rank, root int, bytes float64) {
+	n := c.Size()
+	if n == 1 {
+		return
+	}
+	tag := c.nextTag(rank)
+	if rank == root {
+		for r := 0; r < n; r++ {
+			if r != root {
+				c.Recv(p, rank, r, tag)
+			}
+		}
+		return
+	}
+	c.Send(p, rank, root, tag, bytes)
+}

@@ -1,0 +1,147 @@
+// Package network models the cluster interconnect: per-node NICs, a
+// switch, and the intra-node memory path used when two ranks share a node.
+//
+// The model is a crossbar: a message occupies its source TX port and its
+// destination RX port simultaneously for bytes/throughput seconds (so
+// fan-out serializes at the sender and incast serializes at the receiver),
+// and one-way wire latency is added on top, pipelined. This reproduces the
+// iperf throughput and ping-pong latency numbers the paper measured while
+// letting congestion emerge from port queueing.
+package network
+
+import (
+	"fmt"
+	"math"
+
+	"clustersoc/internal/sim"
+	"clustersoc/internal/units"
+)
+
+// Profile describes one NIC option for the cluster.
+type Profile struct {
+	Name        string
+	Throughput  float64 // effective bytes/second per direction (as iperf measures)
+	Latency     float64 // one-way latency in seconds (half the ping-pong RTT)
+	PowerWatts  float64 // extra power drawn per node by this NIC
+	SwitchWatts float64 // power of the switch serving the cluster
+}
+
+// The two network options the paper evaluates. The on-board 1 GbE achieves
+// 0.94 Gb/s effective; the Startech 10 GbE card is bound by the TX1's
+// PCIe x1 gen2 slot and achieves 3.3 Gb/s, costing ~5 W per node.
+// Ping-pong RTTs: 200 us (1 GbE) and 50 us (10 GbE).
+var (
+	GigE = Profile{
+		Name:        "1GbE",
+		Throughput:  0.94 * units.Gbps,
+		Latency:     100 * units.Microsecond,
+		PowerWatts:  0,
+		SwitchWatts: 8, // unmanaged Netgear 1 GbE switch
+	}
+	TenGigE = Profile{
+		Name:        "10GbE",
+		Throughput:  3.3 * units.Gbps,
+		Latency:     25 * units.Microsecond,
+		PowerWatts:  5,
+		SwitchWatts: 25, // managed 10 GbE switch, amortized over its ports
+	}
+	// Ideal is the zero-latency, effectively-infinite-bandwidth network used
+	// by the DIMEMAS-style ideal-network replay scenario.
+	Ideal = Profile{Name: "ideal", Throughput: 1e15, Latency: 0, PowerWatts: 0}
+)
+
+// port is one direction of a NIC: a FIFO bandwidth server.
+type port struct {
+	free  float64
+	bytes float64
+	busy  float64
+}
+
+// Network is the interconnect for a set of nodes.
+type Network struct {
+	eng     *sim.Engine
+	prof    Profile
+	tx, rx  []port
+	loop    []port // intra-node memory path, one per node
+	memBW   float64
+	memLat  float64
+	fabric  float64 // total bytes through the switch, for statistics
+	packets uint64
+}
+
+// MemoryPathBandwidth is the effective bandwidth of rank-to-rank transfers
+// through shared memory on one node (a memcpy: read + write through DRAM).
+const MemoryPathBandwidth = 5 * units.GBps
+
+// MemoryPathLatency is the software latency of an intra-node message.
+const MemoryPathLatency = 1 * units.Microsecond
+
+// New creates a network connecting nodes through prof.
+func New(e *sim.Engine, nodes int, prof Profile) *Network {
+	return &Network{
+		eng:    e,
+		prof:   prof,
+		tx:     make([]port, nodes),
+		rx:     make([]port, nodes),
+		loop:   make([]port, nodes),
+		memBW:  MemoryPathBandwidth,
+		memLat: MemoryPathLatency,
+	}
+}
+
+// Profile returns the NIC profile in use.
+func (nw *Network) Profile() Profile { return nw.prof }
+
+// Nodes returns the number of attached nodes.
+func (nw *Network) Nodes() int { return len(nw.tx) }
+
+// Deliver books a message of the given size from node src to node dst and
+// returns (senderFree, arrival): the time the sender's buffer has drained
+// and the time the last byte reaches the receiver. Deliver does not block;
+// the MPI layer schedules around the returned times.
+func (nw *Network) Deliver(src, dst int, bytes float64) (senderFree, arrival float64) {
+	if src < 0 || src >= len(nw.tx) || dst < 0 || dst >= len(nw.rx) {
+		panic(fmt.Sprintf("network: node out of range: %d -> %d (have %d)", src, dst, len(nw.tx)))
+	}
+	now := nw.eng.Now()
+	nw.packets++
+	if src == dst {
+		lp := &nw.loop[src]
+		start := math.Max(now, lp.free)
+		svc := bytes / nw.memBW
+		lp.free = start + svc
+		lp.bytes += bytes
+		lp.busy += svc
+		return lp.free, lp.free + nw.memLat
+	}
+	t, r := &nw.tx[src], &nw.rx[dst]
+	start := math.Max(now, math.Max(t.free, r.free))
+	svc := bytes / nw.prof.Throughput
+	t.free = start + svc
+	r.free = start + svc
+	t.bytes += bytes
+	r.bytes += bytes
+	t.busy += svc
+	r.busy += svc
+	nw.fabric += bytes
+	return t.free, t.free + nw.prof.Latency
+}
+
+// BytesSent returns the total bytes node has transmitted over the wire
+// (intra-node traffic excluded).
+func (nw *Network) BytesSent(node int) float64 { return nw.tx[node].bytes }
+
+// BytesReceived returns the total bytes node has received over the wire.
+func (nw *Network) BytesReceived(node int) float64 { return nw.rx[node].bytes }
+
+// FabricBytes returns the total bytes that crossed the switch.
+func (nw *Network) FabricBytes() float64 { return nw.fabric }
+
+// IntraNodeBytes returns bytes moved through node's shared-memory path.
+func (nw *Network) IntraNodeBytes(node int) float64 { return nw.loop[node].bytes }
+
+// Messages returns the number of Deliver calls.
+func (nw *Network) Messages() uint64 { return nw.packets }
+
+// TXBusy returns the accumulated busy seconds of a node's TX port.
+func (nw *Network) TXBusy(node int) float64 { return nw.tx[node].busy }

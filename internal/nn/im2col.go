@@ -1,0 +1,77 @@
+package nn
+
+import "clustersoc/internal/kernels"
+
+// im2col + GEMM convolution — the algorithm Caffe actually executes on
+// the GPU (and the reason conv layers inherit GEMM's high operational
+// intensity in Table II): the input patches are unrolled into a matrix
+// and the convolution becomes one big multiply against the unrolled
+// weights. ForwardGEMM must produce exactly what the direct loops in
+// Conv.Forward produce.
+
+// Im2col unrolls the input into a (C*K*K) x (outH*outW) matrix for the
+// given convolution geometry. Out-of-bounds taps contribute zeros.
+func Im2col(in *Tensor, k, stride, pad int) *kernels.Matrix {
+	outH := (in.Shape.H+2*pad-k)/stride + 1
+	outW := (in.Shape.W+2*pad-k)/stride + 1
+	rows := in.Shape.C * k * k
+	cols := outH * outW
+	m := kernels.NewMatrix(rows, cols)
+	for c := 0; c < in.Shape.C; c++ {
+		for kh := 0; kh < k; kh++ {
+			for kw := 0; kw < k; kw++ {
+				row := (c*k+kh)*k + kw
+				for oh := 0; oh < outH; oh++ {
+					ih := oh*stride + kh - pad
+					if ih < 0 || ih >= in.Shape.H {
+						continue
+					}
+					for ow := 0; ow < outW; ow++ {
+						iw := ow*stride + kw - pad
+						if iw < 0 || iw >= in.Shape.W {
+							continue
+						}
+						m.Set(row, oh*outW+ow, in.At(c, ih, iw))
+					}
+				}
+			}
+		}
+	}
+	return m
+}
+
+// ForwardGEMM runs the convolution as weights x im2col(input) + bias,
+// per group. It is bit-compatible with Conv.Forward up to floating-point
+// summation order within a row, and exercised against it in the tests.
+func (c *Conv) ForwardGEMM(in *Tensor) (*Tensor, error) {
+	c.ensureWeights(in.Shape.C)
+	out := NewTensor(c.OutShape(in.Shape))
+	inCPerG := in.Shape.C / c.Groups
+	outCPerG := c.OutC / c.Groups
+	spatial := out.Shape.H * out.Shape.W
+
+	for g := 0; g < c.Groups; g++ {
+		// Slice the group's input channels into a view tensor.
+		gin := NewTensor(Shape{C: inCPerG, H: in.Shape.H, W: in.Shape.W})
+		copy(gin.Data, in.Data[g*inCPerG*in.Shape.H*in.Shape.W:(g+1)*inCPerG*in.Shape.H*in.Shape.W])
+		cols := Im2col(gin, c.K, c.Stride, c.Pad)
+
+		// Weight matrix for the group: outCPerG x (inCPerG*K*K).
+		wm := kernels.NewMatrix(outCPerG, inCPerG*c.K*c.K)
+		copy(wm.Data, c.weights[g*outCPerG*inCPerG*c.K*c.K:(g+1)*outCPerG*inCPerG*c.K*c.K])
+
+		prod, err := kernels.MatMul(wm, cols)
+		if err != nil {
+			return nil, err
+		}
+		for oc := 0; oc < outCPerG; oc++ {
+			ocAbs := g*outCPerG + oc
+			base := ocAbs * spatial
+			bias := c.bias[ocAbs]
+			for s := 0; s < spatial; s++ {
+				out.Data[base+s] = prod.Data[oc*spatial+s] + bias
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,64 @@
+// Package nn is a minimal deep-learning inference engine sufficient to
+// run the paper's two AI workloads: image classification with the AlexNet
+// and GoogleNet models under Caffe (Table I). It provides CHW tensors,
+// the layer types those networks use, exact FLOP/parameter accounting per
+// layer (which feeds the cluster workload model), and graph builders that
+// reproduce both architectures layer-for-layer.
+package nn
+
+import "fmt"
+
+// Shape is a CHW tensor shape.
+type Shape struct {
+	C, H, W int
+}
+
+// Elems returns the element count.
+func (s Shape) Elems() int { return s.C * s.H * s.W }
+
+// String formats the shape.
+func (s Shape) String() string { return fmt.Sprintf("%dx%dx%d", s.C, s.H, s.W) }
+
+// Tensor is a dense CHW float64 tensor.
+type Tensor struct {
+	Shape Shape
+	Data  []float64
+}
+
+// NewTensor allocates a zero tensor.
+func NewTensor(s Shape) *Tensor {
+	return &Tensor{Shape: s, Data: make([]float64, s.Elems())}
+}
+
+// At returns t[c,h,w].
+func (t *Tensor) At(c, h, w int) float64 {
+	return t.Data[(c*t.Shape.H+h)*t.Shape.W+w]
+}
+
+// Set assigns t[c,h,w].
+func (t *Tensor) Set(c, h, w int, v float64) {
+	t.Data[(c*t.Shape.H+h)*t.Shape.W+w] = v
+}
+
+// lcg is a tiny deterministic generator for reproducible synthetic
+// weights: inference cost is weight-value independent, so any fixed
+// pseudo-random initialization exercises the real code path.
+type lcg uint64
+
+func (l *lcg) next() float64 {
+	*l = *l*6364136223846793005 + 1442695040888963407
+	return float64(uint32(*l>>32))/float64(1<<32)*2 - 1
+}
+
+// fillWeights deterministically initializes a weight slice with small
+// values scaled by fan-in.
+func fillWeights(w []float64, seed uint64, fanIn int) {
+	g := lcg(seed | 1)
+	scale := 1.0
+	if fanIn > 0 {
+		scale = 1.0 / float64(fanIn)
+	}
+	for i := range w {
+		w[i] = g.next() * scale
+	}
+}

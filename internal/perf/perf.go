@@ -1,0 +1,144 @@
+// Package perf models the performance-monitoring instrumentation the paper
+// uses: the ARMv8 PMUv3 counter subset collected with Linux perf on both
+// the Cortex-A57 cluster and the Cavium ThunderX server, and the
+// nvprof-style GPU metrics used to diagnose the CUDA memory-management
+// models.
+//
+// Counters are synthesized by the CPU/GPU timing models from the same
+// quantities that produce the runtimes, so an analysis over counters (the
+// PLS study of Fig. 8) sees a self-consistent machine.
+package perf
+
+// PMU holds the twelve ARMv8 PMUv3 events the paper restricts itself to
+// (cross-vendor comparable, unlike implementation-specific events).
+type PMU struct {
+	CPUCycles      float64
+	InstRetired    float64
+	InstSpec       float64 // speculatively executed instructions
+	BrRetired      float64 // branches architecturally executed
+	BrMisPred      float64 // mispredicted branches
+	L1DCache       float64 // L1 data cache accesses
+	L1DCacheRefill float64
+	L1ICache       float64
+	L1ICacheRefill float64
+	L2DCache       float64 // L2 (unified) accesses
+	L2DCacheRefill float64
+	MemAccess      float64 // data memory accesses
+	StallBackend   float64 // cycles stalled on the backend (memory)
+}
+
+// Add accumulates another sample into p.
+func (p *PMU) Add(q PMU) {
+	p.CPUCycles += q.CPUCycles
+	p.InstRetired += q.InstRetired
+	p.InstSpec += q.InstSpec
+	p.BrRetired += q.BrRetired
+	p.BrMisPred += q.BrMisPred
+	p.L1DCache += q.L1DCache
+	p.L1DCacheRefill += q.L1DCacheRefill
+	p.L1ICache += q.L1ICache
+	p.L1ICacheRefill += q.L1ICacheRefill
+	p.L2DCache += q.L2DCache
+	p.L2DCacheRefill += q.L2DCacheRefill
+	p.MemAccess += q.MemAccess
+	p.StallBackend += q.StallBackend
+}
+
+func ratio(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// IPC returns retired instructions per cycle.
+func (p *PMU) IPC() float64 { return ratio(p.InstRetired, p.CPUCycles) }
+
+// BranchMissRatio returns mispredicted branches per executed branch.
+func (p *PMU) BranchMissRatio() float64 { return ratio(p.BrMisPred, p.BrRetired) }
+
+// L1DMissRatio returns L1D refills per L1D access.
+func (p *PMU) L1DMissRatio() float64 { return ratio(p.L1DCacheRefill, p.L1DCache) }
+
+// L2MissRatio returns L2 refills per L2 access — the "LD_MISS_RATIO" the
+// paper's PLS analysis selects.
+func (p *PMU) L2MissRatio() float64 { return ratio(p.L2DCacheRefill, p.L2DCache) }
+
+// MetricNames lists the derived event/metric names used as columns of the
+// observation matrix for the PLS study, in a fixed order.
+var MetricNames = []string{
+	"CPU_CYCLES",
+	"INST_RETIRED",
+	"INST_SPEC",
+	"BR_RETIRED",
+	"BR_MIS_PRED",
+	"L1D_CACHE",
+	"L1D_CACHE_REFILL",
+	"L2D_CACHE",
+	"L2D_CACHE_REFILL",
+	"MEM_ACCESS",
+	"STALL_BACKEND",
+	"LD_MISS_RATIO", // derived: L2 miss ratio
+	"BR_MISS_RATIO", // derived
+	"IPC",           // derived
+}
+
+// Vector returns the counter/metric values in MetricNames order.
+func (p *PMU) Vector() []float64 {
+	return []float64{
+		p.CPUCycles,
+		p.InstRetired,
+		p.InstSpec,
+		p.BrRetired,
+		p.BrMisPred,
+		p.L1DCache,
+		p.L1DCacheRefill,
+		p.L2DCache,
+		p.L2DCacheRefill,
+		p.MemAccess,
+		p.StallBackend,
+		p.L2MissRatio(),
+		p.BranchMissRatio(),
+		p.IPC(),
+	}
+}
+
+// GPUMetrics mirrors the nvprof events the paper collects for Table III.
+type GPUMetrics struct {
+	Launches       uint64
+	KernelSeconds  float64
+	FLOPs          float64
+	DRAMBytes      float64 // bytes actually moved to/from DRAM by kernels
+	L2Accesses     float64 // bytes requested through the L2
+	L2Hits         float64 // bytes served by the L2
+	CopySeconds    float64 // explicit/implicit host<->device copy time
+	CopyBytes      float64
+	StallSeconds   float64 // kernel time attributable to memory stalls
+	ComputeSeconds float64 // kernel time attributable to the ALUs
+}
+
+// Add accumulates another sample.
+func (g *GPUMetrics) Add(h GPUMetrics) {
+	g.Launches += h.Launches
+	g.KernelSeconds += h.KernelSeconds
+	g.FLOPs += h.FLOPs
+	g.DRAMBytes += h.DRAMBytes
+	g.L2Accesses += h.L2Accesses
+	g.L2Hits += h.L2Hits
+	g.CopySeconds += h.CopySeconds
+	g.CopyBytes += h.CopyBytes
+	g.StallSeconds += h.StallSeconds
+	g.ComputeSeconds += h.ComputeSeconds
+}
+
+// L2Utilization returns the fraction of L2 traffic served by the cache.
+func (g *GPUMetrics) L2Utilization() float64 { return ratio(g.L2Hits, g.L2Accesses) }
+
+// L2ReadThroughput returns bytes/second served by the L2 during kernels.
+func (g *GPUMetrics) L2ReadThroughput() float64 { return ratio(g.L2Hits, g.KernelSeconds) }
+
+// MemoryStallFraction returns the fraction of kernel time stalled on memory.
+func (g *GPUMetrics) MemoryStallFraction() float64 { return ratio(g.StallSeconds, g.KernelSeconds) }
+
+// Throughput returns achieved FLOP/s over kernel time.
+func (g *GPUMetrics) Throughput() float64 { return ratio(g.FLOPs, g.KernelSeconds) }

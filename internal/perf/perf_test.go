@@ -1,0 +1,122 @@
+package perf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func sample() PMU {
+	return PMU{
+		CPUCycles:      1e9,
+		InstRetired:    8e8,
+		InstSpec:       9e8,
+		BrRetired:      1e8,
+		BrMisPred:      5e6,
+		L1DCache:       3e8,
+		L1DCacheRefill: 1.5e7,
+		L2DCache:       1.5e7,
+		L2DCacheRefill: 6e6,
+		MemAccess:      3e8,
+		StallBackend:   2e8,
+	}
+}
+
+func TestDerivedMetrics(t *testing.T) {
+	p := sample()
+	if math.Abs(p.IPC()-0.8) > 1e-12 {
+		t.Errorf("IPC %v", p.IPC())
+	}
+	if math.Abs(p.BranchMissRatio()-0.05) > 1e-12 {
+		t.Errorf("branch miss %v", p.BranchMissRatio())
+	}
+	if math.Abs(p.L1DMissRatio()-0.05) > 1e-12 {
+		t.Errorf("L1 miss %v", p.L1DMissRatio())
+	}
+	if math.Abs(p.L2MissRatio()-0.4) > 1e-12 {
+		t.Errorf("L2 miss %v", p.L2MissRatio())
+	}
+	zero := &PMU{}
+	if zero.IPC() != 0 || zero.L2MissRatio() != 0 {
+		t.Error("zero counters must not divide by zero")
+	}
+}
+
+func TestAddIsComponentwise(t *testing.T) {
+	a, b := sample(), sample()
+	a.Add(b)
+	if a.CPUCycles != 2e9 || a.BrMisPred != 1e7 || a.StallBackend != 4e8 {
+		t.Fatalf("add broken: %+v", a)
+	}
+	// Ratios are scale-invariant under self-addition.
+	orig := sample()
+	if math.Abs(a.IPC()-orig.IPC()) > 1e-12 {
+		t.Error("IPC changed under doubling")
+	}
+}
+
+func TestVectorMatchesMetricNames(t *testing.T) {
+	p := sample()
+	v := p.Vector()
+	if len(v) != len(MetricNames) {
+		t.Fatalf("vector length %d vs %d names", len(v), len(MetricNames))
+	}
+	byName := map[string]float64{}
+	for i, n := range MetricNames {
+		byName[n] = v[i]
+	}
+	if byName["BR_MIS_PRED"] != p.BrMisPred {
+		t.Error("BR_MIS_PRED misplaced")
+	}
+	if math.Abs(byName["LD_MISS_RATIO"]-p.L2MissRatio()) > 1e-12 {
+		t.Error("LD_MISS_RATIO misplaced")
+	}
+	if math.Abs(byName["IPC"]-p.IPC()) > 1e-12 {
+		t.Error("IPC misplaced")
+	}
+}
+
+func TestGPUMetrics(t *testing.T) {
+	g := GPUMetrics{
+		Launches: 10, KernelSeconds: 2, FLOPs: 4e9,
+		DRAMBytes: 1e9, L2Accesses: 2e9, L2Hits: 1e9,
+		StallSeconds: 0.5, ComputeSeconds: 1.5,
+	}
+	if math.Abs(g.L2Utilization()-0.5) > 1e-12 {
+		t.Errorf("L2 util %v", g.L2Utilization())
+	}
+	if math.Abs(g.L2ReadThroughput()-5e8) > 1e-3 {
+		t.Errorf("L2 rate %v", g.L2ReadThroughput())
+	}
+	if math.Abs(g.MemoryStallFraction()-0.25) > 1e-12 {
+		t.Errorf("stalls %v", g.MemoryStallFraction())
+	}
+	if math.Abs(g.Throughput()-2e9) > 1e-3 {
+		t.Errorf("throughput %v", g.Throughput())
+	}
+	h := g
+	h.Add(g)
+	if h.Launches != 20 || h.FLOPs != 8e9 {
+		t.Fatal("GPU add broken")
+	}
+	if math.Abs(h.Throughput()-g.Throughput()) > 1e-6 {
+		t.Error("throughput not scale-invariant under self-add")
+	}
+}
+
+// Ratios always land in [0, 1] for physically consistent counters.
+func TestRatioBoundsProperty(t *testing.T) {
+	f := func(hits uint32, extra uint32) bool {
+		p := PMU{
+			L2DCache:       float64(hits) + float64(extra) + 1,
+			L2DCacheRefill: float64(hits),
+			BrRetired:      float64(hits) + float64(extra) + 1,
+			BrMisPred:      float64(extra),
+		}
+		return p.L2MissRatio() >= 0 && p.L2MissRatio() <= 1 &&
+			p.BranchMissRatio() >= 0 && p.BranchMissRatio() <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

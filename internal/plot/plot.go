@@ -1,0 +1,216 @@
+// Package plot renders small ASCII charts — line charts for the scaling
+// curves (Figs. 5/6), scatter plots for the traffic and runtime/energy
+// figures (Figs. 3/9), and log-log curves for the roofline (Fig. 4) — so
+// cmd/experiments can show the paper's figures as figures, not just
+// tables. Stdlib only, fixed-width output.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named line or point set.
+type Series struct {
+	Name   string
+	X, Y   []float64
+	Marker byte // defaults to letters a, b, c... assigned by the chart
+}
+
+// Chart is an ASCII chart under construction.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot area columns (default 60)
+	Height int // plot area rows (default 18)
+	LogX   bool
+	LogY   bool
+	series []Series
+}
+
+// Add appends a series (skipping empty ones).
+func (c *Chart) Add(s Series) {
+	if len(s.X) == 0 || len(s.X) != len(s.Y) {
+		return
+	}
+	c.series = append(c.series, s)
+}
+
+func (c *Chart) dims() (int, int) {
+	w, h := c.Width, c.Height
+	if w < 16 {
+		w = 60
+	}
+	if h < 6 {
+		h = 18
+	}
+	return w, h
+}
+
+// transform maps a value to axis space, honoring log scales.
+func transform(v float64, log bool) (float64, bool) {
+	if !log {
+		return v, true
+	}
+	if v <= 0 {
+		return 0, false
+	}
+	return math.Log10(v), true
+}
+
+// Render draws the chart.
+func (c *Chart) Render() string {
+	w, h := c.dims()
+	// Collect the transformed extents.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range c.series {
+		for i := range s.X {
+			x, okx := transform(s.X[i], c.LogX)
+			y, oky := transform(s.Y[i], c.LogY)
+			if !okx || !oky {
+				continue
+			}
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return c.Title + "\n(no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	for si, s := range c.series {
+		mark := s.Marker
+		if mark == 0 {
+			mark = byte('a' + si%26)
+		}
+		for i := range s.X {
+			x, okx := transform(s.X[i], c.LogX)
+			y, oky := transform(s.Y[i], c.LogY)
+			if !okx || !oky {
+				continue
+			}
+			col := int(math.Round((x - minX) / (maxX - minX) * float64(w-1)))
+			row := h - 1 - int(math.Round((y-minY)/(maxY-minY)*float64(h-1)))
+			if col >= 0 && col < w && row >= 0 && row < h {
+				if grid[row][col] != ' ' && grid[row][col] != mark {
+					grid[row][col] = '*' // overlapping series
+				} else {
+					grid[row][col] = mark
+				}
+			}
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	yLo, yHi := c.axisValue(minY, c.LogY), c.axisValue(maxY, c.LogY)
+	fmt.Fprintf(&b, "%11s +%s+\n", trim(fmtAxis(yHi)), strings.Repeat("-", w))
+	for r := 0; r < h; r++ {
+		label := ""
+		if r == h-1 {
+			label = trim(fmtAxis(yLo))
+		}
+		fmt.Fprintf(&b, "%11s |%s|\n", label, string(grid[r]))
+	}
+	xLo, xHi := c.axisValue(minX, c.LogX), c.axisValue(maxX, c.LogX)
+	fmt.Fprintf(&b, "%11s +%s+\n", "", strings.Repeat("-", w))
+	fmt.Fprintf(&b, "%12s%-*s%s\n", "", w-len(fmtAxis(xHi))+1, fmtAxis(xLo), fmtAxis(xHi))
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "%12sx: %s   y: %s\n", "", c.XLabel, c.YLabel)
+	}
+	// Legend, in insertion order.
+	for si, s := range c.series {
+		mark := s.Marker
+		if mark == 0 {
+			mark = byte('a' + si%26)
+		}
+		fmt.Fprintf(&b, "%12s%c = %s\n", "", mark, s.Name)
+	}
+	return b.String()
+}
+
+func (c *Chart) axisValue(v float64, log bool) float64 {
+	if log {
+		return math.Pow(10, v)
+	}
+	return v
+}
+
+func fmtAxis(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e9:
+		return fmt.Sprintf("%.3g", v)
+	case av >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+func trim(s string) string { return strings.TrimSpace(s) }
+
+// Bars renders a labeled horizontal bar chart (for the Fig. 1/2 style
+// per-workload values); values must be non-negative.
+func Bars(title string, labels []string, values []float64, width int) string {
+	if width < 10 {
+		width = 40
+	}
+	max := 0.0
+	wLabel := 0
+	for i, l := range labels {
+		if len(l) > wLabel {
+			wLabel = len(l)
+		}
+		if i < len(values) && values[i] > max {
+			max = values[i]
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	for i, l := range labels {
+		if i >= len(values) {
+			break
+		}
+		n := int(math.Round(values[i] / max * float64(width)))
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(&b, "  %-*s %6.2f |%s\n", wLabel, l, values[i], strings.Repeat("#", n))
+	}
+	return b.String()
+}
+
+// SortedKeys returns map keys in sorted order (a helper for deterministic
+// chart assembly from maps).
+func SortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,86 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartRendersSeries(t *testing.T) {
+	c := Chart{Title: "speedup", XLabel: "nodes", YLabel: "S", Width: 40, Height: 10}
+	c.Add(Series{Name: "jacobi", X: []float64{1, 2, 4, 8}, Y: []float64{1, 2, 3.9, 7.7}})
+	c.Add(Series{Name: "ft", X: []float64{1, 2, 4, 8}, Y: []float64{1, 1.5, 2.2, 2.6}})
+	out := c.Render()
+	for _, want := range []string{"speedup", "a = jacobi", "b = ft", "x: nodes"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "a") || !strings.Contains(out, "b") {
+		t.Fatal("markers not plotted")
+	}
+	// Every plot row is the same width (fixed frame).
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	frame := 0
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			if frame == 0 {
+				frame = len(l)
+			} else if len(l) != frame {
+				t.Fatalf("ragged frame: %q", l)
+			}
+		}
+	}
+}
+
+func TestChartLogScales(t *testing.T) {
+	c := Chart{LogX: true, LogY: true, Width: 30, Height: 8}
+	c.Add(Series{Name: "roof", X: []float64{0.01, 0.1, 1, 10, 100}, Y: []float64{0.2e9, 2e9, 16e9, 16e9, 16e9}})
+	out := c.Render()
+	if strings.Contains(out, "no data") {
+		t.Fatal("log chart dropped all points")
+	}
+	// Non-positive points are skipped, not crashed on.
+	c2 := Chart{LogX: true}
+	c2.Add(Series{Name: "bad", X: []float64{-1, 0}, Y: []float64{1, 1}})
+	if !strings.Contains(c2.Render(), "no data") {
+		t.Fatal("expected empty log chart")
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	c := Chart{Title: "t"}
+	if !strings.Contains(c.Render(), "no data") {
+		t.Fatal("empty chart should say so")
+	}
+	c.Add(Series{Name: "mismatched", X: []float64{1}, Y: nil}) // ignored
+	if !strings.Contains(c.Render(), "no data") {
+		t.Fatal("mismatched series should be ignored")
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars("energy", []string{"ft", "is"}, []float64{2.0, 1.0}, 20)
+	if !strings.Contains(out, "ft") || !strings.Contains(out, "####") {
+		t.Fatalf("bars missing:\n%s", out)
+	}
+	ftLine, isLine := "", ""
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, "ft") {
+			ftLine = l
+		}
+		if strings.Contains(l, "is") {
+			isLine = l
+		}
+	}
+	if strings.Count(ftLine, "#") <= strings.Count(isLine, "#") {
+		t.Fatal("bar lengths not proportional")
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	got := SortedKeys(m)
+	if got[0] != "a" || got[2] != "c" {
+		t.Fatalf("keys %v", got)
+	}
+}

@@ -1,0 +1,110 @@
+// Package power models the energy instrumentation of the paper: each
+// system's power is sensed at the wall (a 10 Hz AC current probe) and two
+// efficiency metrics are reported — total energy, and FLOPS per watt.
+//
+// The node model is the usual idle + activity decomposition: a constant
+// idle draw plus dynamic power proportional to the busy time of each CPU
+// core, GPU SM, and the NIC, divided by the PSU efficiency to convert DC
+// component power into the AC-side numbers the paper reports.
+package power
+
+// Spec parameterizes one node's (or server's) power behaviour.
+type Spec struct {
+	// IdleWatts is the DC draw with everything idle (board, DRAM refresh,
+	// storage, fans).
+	IdleWatts float64
+	// CPUCoreWatts is the additional draw of one fully-busy CPU core.
+	CPUCoreWatts float64
+	// GPUSMWatts is the additional draw of one fully-busy GPU SM.
+	GPUSMWatts float64
+	// DRAMWattsPerGBps is the activity cost of memory traffic.
+	DRAMWattsPerGBps float64
+	// NICWatts is the static adder of the installed NIC measured at the
+	// wall (the 10 GbE card costs ~5 W per node).
+	NICWatts float64
+	// PSUEfficiency converts DC power to the AC wall power the paper's
+	// probe sees.
+	PSUEfficiency float64
+}
+
+// MaxWatts returns the AC power at full load with all cores and SMs busy
+// and dramGBps of memory traffic.
+func (s Spec) MaxWatts(cores, sms int, dramGBps float64) float64 {
+	dc := s.IdleWatts + float64(cores)*s.CPUCoreWatts + float64(sms)*s.GPUSMWatts +
+		dramGBps*s.DRAMWattsPerGBps
+	return dc/s.PSUEfficiency + s.NICWatts
+}
+
+// Meter integrates one node's energy over a run from component busy times.
+type Meter struct {
+	Spec Spec
+
+	coreBusy float64 // core-seconds of CPU activity
+	smBusy   float64 // SM-seconds of GPU activity
+	dramGB   float64 // gigabytes moved through DRAM
+}
+
+// AddCPU records core-seconds of CPU activity.
+func (m *Meter) AddCPU(coreSeconds float64) { m.coreBusy += coreSeconds }
+
+// AddGPU records SM-seconds of GPU activity.
+func (m *Meter) AddGPU(smSeconds float64) { m.smBusy += smSeconds }
+
+// AddDRAM records bytes of DRAM traffic.
+func (m *Meter) AddDRAM(bytes float64) { m.dramGB += bytes / 1e9 }
+
+// Energy returns the AC-side joules consumed over a run of the given
+// duration (seconds).
+func (m *Meter) Energy(duration float64) float64 {
+	dc := m.Spec.IdleWatts*duration +
+		m.Spec.CPUCoreWatts*m.coreBusy +
+		m.Spec.GPUSMWatts*m.smBusy +
+		m.Spec.DRAMWattsPerGBps*m.dramGB
+	return dc/m.Spec.PSUEfficiency + m.Spec.NICWatts*duration
+}
+
+// AveragePower returns mean AC watts over the run.
+func (m *Meter) AveragePower(duration float64) float64 {
+	if duration <= 0 {
+		return 0
+	}
+	return m.Energy(duration) / duration
+}
+
+// Sensor mimics the paper's 10 Hz wall-power probe: it samples a power
+// trace at fixed intervals and integrates, demonstrating that sampled and
+// analytic energy agree for well-behaved traces.
+type Sensor struct {
+	Hz      float64
+	samples []float64
+}
+
+// NewSensor returns a sensor sampling at hz.
+func NewSensor(hz float64) *Sensor { return &Sensor{Hz: hz} }
+
+// Sample records an instantaneous watts reading.
+func (s *Sensor) Sample(watts float64) { s.samples = append(s.samples, watts) }
+
+// Samples returns the number of samples recorded.
+func (s *Sensor) Samples() int { return len(s.samples) }
+
+// Energy integrates the sampled trace (rectangle rule).
+func (s *Sensor) Energy() float64 {
+	if s.Hz <= 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, w := range s.samples {
+		sum += w
+	}
+	return sum / s.Hz
+}
+
+// MFLOPSPerWatt converts a throughput (FLOP/s) and average power (W) into
+// the paper's efficiency metric.
+func MFLOPSPerWatt(flopsPerSec, watts float64) float64 {
+	if watts <= 0 {
+		return 0
+	}
+	return flopsPerSec / 1e6 / watts
+}

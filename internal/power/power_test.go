@@ -1,0 +1,109 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func spec() Spec {
+	return Spec{
+		IdleWatts:        16,
+		CPUCoreWatts:     2.2,
+		GPUSMWatts:       5.5,
+		DRAMWattsPerGBps: 0.05,
+		NICWatts:         5,
+		PSUEfficiency:    0.8,
+	}
+}
+
+func TestIdleEnergy(t *testing.T) {
+	m := Meter{Spec: spec()}
+	e := m.Energy(10)
+	want := 16.0*10/0.8 + 5*10
+	if math.Abs(e-want) > 1e-9 {
+		t.Fatalf("idle energy %v, want %v", e, want)
+	}
+}
+
+func TestActivityEnergy(t *testing.T) {
+	m := Meter{Spec: spec()}
+	m.AddCPU(4)     // 4 core-seconds
+	m.AddGPU(2)     // 2 SM-seconds
+	m.AddDRAM(10e9) // 10 GB
+	idle := Meter{Spec: spec()}
+	e := m.Energy(1) - idle.Energy(1)
+	want := (4*2.2 + 2*5.5 + 10*0.05) / 0.8
+	if math.Abs(e-want) > 1e-9 {
+		t.Fatalf("dynamic energy %v, want %v", e, want)
+	}
+}
+
+func TestMaxWatts(t *testing.T) {
+	s := spec()
+	max := s.MaxWatts(4, 2, 20)
+	want := (16+4*2.2+2*5.5+20*0.05)/0.8 + 5
+	if math.Abs(max-want) > 1e-9 {
+		t.Fatalf("max watts %v, want %v", max, want)
+	}
+	// A TX1-style node lands in the tens of watts, 8 of them near the
+	// paper's ~350 W cluster.
+	if max < 30 || max > 60 {
+		t.Fatalf("node max %v W implausible", max)
+	}
+}
+
+func TestAveragePower(t *testing.T) {
+	m := Meter{Spec: spec()}
+	m.AddCPU(5)
+	if got := m.AveragePower(5); math.Abs(got-(16/0.8+5+2.2/0.8)) > 1e-9 {
+		t.Fatalf("avg power %v", got)
+	}
+	if (&Meter{Spec: spec()}).AveragePower(0) != 0 {
+		t.Fatal("zero duration should give zero power")
+	}
+}
+
+// Energy is additive in busy time and monotone in duration.
+func TestEnergyProperties(t *testing.T) {
+	f := func(cpuRaw, gpuRaw uint8, durRaw uint8) bool {
+		cpu, gpu := float64(cpuRaw)/10, float64(gpuRaw)/10
+		dur := float64(durRaw)/10 + cpu + gpu + 1
+		a := Meter{Spec: spec()}
+		a.AddCPU(cpu)
+		a.AddGPU(gpu)
+		b := Meter{Spec: spec()}
+		b.AddCPU(cpu)
+		b.AddGPU(gpu)
+		b.AddCPU(1) // extra work must cost extra energy
+		return b.Energy(dur) > a.Energy(dur) && a.Energy(dur+1) > a.Energy(dur)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSensorIntegration(t *testing.T) {
+	s := NewSensor(10) // the paper's 10 Hz probe
+	for i := 0; i < 50; i++ {
+		s.Sample(100) // constant 100 W for 5 seconds
+	}
+	if s.Samples() != 50 {
+		t.Fatalf("samples %d", s.Samples())
+	}
+	if math.Abs(s.Energy()-500) > 1e-9 {
+		t.Fatalf("sensor energy %v, want 500 J", s.Energy())
+	}
+	if NewSensor(0).Energy() != 0 {
+		t.Fatal("zero-rate sensor should integrate nothing")
+	}
+}
+
+func TestMFLOPSPerWatt(t *testing.T) {
+	if got := MFLOPSPerWatt(1e9, 10); math.Abs(got-100) > 1e-9 {
+		t.Fatalf("1 GFLOPS at 10 W = %v MFLOPS/W, want 100", got)
+	}
+	if MFLOPSPerWatt(1e9, 0) != 0 {
+		t.Fatal("zero power must not divide")
+	}
+}

@@ -1,0 +1,42 @@
+package roofline_test
+
+import (
+	"fmt"
+
+	"clustersoc/internal/roofline"
+)
+
+// Build the paper's extended roofline for a TX1 node on 10 GbE and place
+// a workload on it — equations (1)-(3) of Sec. III-B.3.
+func ExampleModel_Analyze() {
+	m := roofline.Model{
+		Name:         "TX1 + 10GbE",
+		PeakFlops:    16e9,      // FP64
+		MemBandwidth: 20e9,      // GPU STREAM
+		NetBandwidth: 3.3e9 / 8, // effective 10GbE
+	}
+	hpl := roofline.Point{
+		Name:       "hpl",
+		FLOPs:      1e12,
+		DRAMBytes:  2e12, // OI = 0.5
+		NetBytes:   1e10, // NI = 100
+		Throughput: 9e9,
+	}
+	a := m.Analyze(hpl)
+	fmt.Printf("OI %.1f, NI %.0f\n", a.OI, a.NI)
+	fmt.Printf("attainable %.0f GFLOPS, %.0f%% reached, %s-limited\n",
+		a.Peak/1e9, a.PercentOfPeak, a.Limit)
+	// Output:
+	// OI 0.5, NI 100
+	// attainable 10 GFLOPS, 90% reached, operational-limited
+}
+
+// The ridge points mark where each roof stops binding.
+func ExampleModel_RidgeOI() {
+	m := roofline.Model{PeakFlops: 16e9, MemBandwidth: 20e9, NetBandwidth: 3.3e9 / 8}
+	fmt.Printf("memory ridge at OI %.2f FLOP/B\n", m.RidgeOI())
+	fmt.Printf("network ridge at NI %.1f FLOP/B\n", m.RidgeNI())
+	// Output:
+	// memory ridge at OI 0.80 FLOP/B
+	// network ridge at NI 38.8 FLOP/B
+}

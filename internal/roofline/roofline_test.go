@@ -1,0 +1,149 @@
+package roofline
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"clustersoc/internal/units"
+)
+
+// tx1Model mirrors the paper's per-node parameters: 16 GFLOPS FP64 peak,
+// 20 GB/s GPU memory bandwidth, 3.3 Gb/s effective 10 GbE.
+func tx1Model() Model {
+	return Model{
+		Name:         "TX1 + 10GbE",
+		PeakFlops:    16 * units.GFLOPS,
+		MemBandwidth: 20 * units.GBps,
+		NetBandwidth: 3.3 * units.Gbps,
+	}
+}
+
+func TestAttainableEnvelope(t *testing.T) {
+	m := tx1Model()
+	f := func(oiRaw, niRaw uint16) bool {
+		oi := float64(oiRaw)/100 + 0.001
+		ni := float64(niRaw)/100 + 0.001
+		a := m.Attainable(oi, ni)
+		return a <= m.PeakFlops+1e-6 &&
+			a <= m.MemBandwidth*oi+1e-6 &&
+			a <= m.NetBandwidth*ni+1e-6 &&
+			(a == m.PeakFlops || a == m.MemBandwidth*oi || a == m.NetBandwidth*ni)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLimitingFactorRegions(t *testing.T) {
+	m := tx1Model()
+	// Huge intensities: compute bound.
+	if l := m.LimitingFactor(1e6, 1e6); l != LimitCompute {
+		t.Errorf("high intensities => %v, want compute", l)
+	}
+	// Tiny OI, huge NI: memory bound.
+	if l := m.LimitingFactor(0.01, 1e6); l != LimitOperational {
+		t.Errorf("low OI => %v, want operational", l)
+	}
+	// Huge OI, tiny NI: network bound.
+	if l := m.LimitingFactor(1e6, 0.01); l != LimitNetwork {
+		t.Errorf("low NI => %v, want network", l)
+	}
+}
+
+func TestRidgePoints(t *testing.T) {
+	m := tx1Model()
+	oi := m.RidgeOI()
+	if math.Abs(m.MemBandwidth*oi-m.PeakFlops) > 1 {
+		t.Error("memory ridge point inconsistent")
+	}
+	ni := m.RidgeNI()
+	if math.Abs(m.NetBandwidth*ni-m.PeakFlops) > 1 {
+		t.Error("network ridge point inconsistent")
+	}
+	// The 10 GbE ridge NI must be lower than the 1 GbE one: a faster
+	// network un-bounds workloads at lower network intensity.
+	m1 := m
+	m1.NetBandwidth = 0.94 * units.Gbps
+	if m.RidgeNI() >= m1.RidgeNI() {
+		t.Error("faster network should lower the network ridge intensity")
+	}
+}
+
+func TestPointIntensities(t *testing.T) {
+	p := Point{FLOPs: 100, DRAMBytes: 50, NetBytes: 25}
+	if p.OI() != 2 || p.NI() != 4 {
+		t.Fatalf("OI=%v NI=%v", p.OI(), p.NI())
+	}
+	// Zero traffic removes the roof.
+	p2 := Point{FLOPs: 100}
+	if !math.IsInf(p2.OI(), 1) || !math.IsInf(p2.NI(), 1) {
+		t.Error("zero-traffic intensities should be +Inf")
+	}
+	m := tx1Model()
+	if got := m.Attainable(p2.OI(), p2.NI()); got != m.PeakFlops {
+		t.Errorf("no-traffic attainable = %v, want peak", got)
+	}
+}
+
+func TestAnalyzePercent(t *testing.T) {
+	m := tx1Model()
+	p := Point{Name: "hpl", FLOPs: 1e12, DRAMBytes: 5e10, NetBytes: 1e10, Throughput: 8 * units.GFLOPS}
+	a := m.Analyze(p)
+	if a.PercentOfPeak <= 0 || a.PercentOfPeak > 100 {
+		t.Fatalf("%%peak = %v", a.PercentOfPeak)
+	}
+	if a.Peak > m.PeakFlops {
+		t.Error("attainable above hardware peak")
+	}
+}
+
+// Faster network can only raise (or keep) the attainable roof; using it
+// never changes the intensities themselves — the paper emphasizes both.
+func TestNetworkUpgradeProperty(t *testing.T) {
+	m1 := tx1Model()
+	m1.NetBandwidth = 0.94 * units.Gbps
+	m10 := tx1Model()
+	f := func(oiRaw, niRaw uint16) bool {
+		oi := float64(oiRaw)/50 + 0.001
+		ni := float64(niRaw)/50 + 0.001
+		return m10.Attainable(oi, ni) >= m1.Attainable(oi, ni)-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemorySeriesShape(t *testing.T) {
+	m := tx1Model()
+	s := m.MemorySeries(0.01, 100, 64)
+	if len(s) != 64 {
+		t.Fatalf("series length %d", len(s))
+	}
+	prev := 0.0
+	for _, pt := range s {
+		if pt.Attainable < prev-1e-9 {
+			t.Fatal("roofline series must be non-decreasing in OI")
+		}
+		prev = pt.Attainable
+	}
+	if s[len(s)-1].Attainable != m.PeakFlops {
+		t.Error("series should reach the compute roof")
+	}
+	if s[0].Attainable >= m.PeakFlops {
+		t.Error("series should start on the memory roof")
+	}
+	if m.MemorySeries(1, 0.5, 8) != nil || m.MemorySeries(1, 2, 1) != nil {
+		t.Error("invalid grids should return nil")
+	}
+}
+
+func TestNetworkCeiling(t *testing.T) {
+	m := tx1Model()
+	if c := m.NetworkCeiling(math.Inf(1)); c != m.PeakFlops {
+		t.Error("infinite NI should give the compute roof")
+	}
+	if c := m.NetworkCeiling(1); math.Abs(c-m.NetBandwidth) > 1 {
+		t.Errorf("NI=1 ceiling = %v, want netBW", c)
+	}
+}

@@ -1,0 +1,201 @@
+package sim
+
+// Process is a goroutine-backed simulation process. A process body runs on
+// its own goroutine but is only ever executing while the engine is parked,
+// so the pair behaves like a coroutine: there is no true concurrency and no
+// need for locks anywhere in the simulation.
+//
+// A process blocks by calling Sleep, Wait, Pipe.Transfer, or
+// Resource.Acquire; each of those schedules a resumption event and yields
+// control back to the engine.
+type Process struct {
+	eng    *Engine
+	name   string
+	resume chan struct{}
+	done   bool
+}
+
+// Spawn creates a process running body and schedules its first activation
+// at the current simulation time. Spawn may be called before Run or from
+// inside any event/process context.
+func (e *Engine) Spawn(name string, body func(p *Process)) *Process {
+	p := &Process{eng: e, name: name, resume: make(chan struct{})}
+	e.procs++
+	go func() {
+		<-p.resume
+		body(p)
+		p.done = true
+		e.procs--
+		e.park <- struct{}{}
+	}()
+	e.Schedule(0, func() { e.activate(p) })
+	return p
+}
+
+// activate hands control to p and blocks the engine until p yields or
+// finishes. It must only be called from the engine context.
+func (e *Engine) activate(p *Process) {
+	if p.done {
+		return
+	}
+	p.resume <- struct{}{}
+	<-e.park
+}
+
+// yield returns control to the engine. The caller must already have
+// arranged for a future activation (otherwise the process never runs again
+// and the engine reports a deadlock when the calendar drains).
+func (p *Process) yield() {
+	p.eng.park <- struct{}{}
+	<-p.resume
+}
+
+// Name returns the process name given at Spawn.
+func (p *Process) Name() string { return p.name }
+
+// Engine returns the engine that owns this process.
+func (p *Process) Engine() *Engine { return p.eng }
+
+// Now returns the current simulation time.
+func (p *Process) Now() float64 { return p.eng.now }
+
+// Done reports whether the process body has returned.
+func (p *Process) Done() bool { return p.done }
+
+// Sleep suspends the process for d seconds of simulated time.
+func (p *Process) Sleep(d float64) {
+	p.eng.Schedule(d, func() { p.eng.activate(p) })
+	p.yield()
+}
+
+// SleepUntil suspends the process until absolute time t (no-op if t has
+// passed).
+func (p *Process) SleepUntil(t float64) {
+	if t <= p.eng.now {
+		return
+	}
+	p.eng.ScheduleAt(t, func() { p.eng.activate(p) })
+	p.yield()
+}
+
+// Suspend parks the process with no scheduled resumption; some other
+// component must later call Engine.Resume / Engine.ResumeAt, or the engine
+// will report a deadlock.
+func (p *Process) Suspend() { p.yield() }
+
+// Resume schedules p to continue at the current time. Only valid for a
+// process parked with Suspend (or registered in a Signal the caller
+// manages itself).
+func (e *Engine) Resume(p *Process) { e.Schedule(0, func() { e.activate(p) }) }
+
+// ResumeAt schedules p to continue at absolute time t.
+func (e *Engine) ResumeAt(t float64, p *Process) { e.ScheduleAt(t, func() { e.activate(p) }) }
+
+// Signal is a broadcast condition: processes Wait on it and a later Fire
+// resumes all current waiters (in Wait order). Fire-then-Wait does not
+// wake; use Gate for level-triggered behaviour.
+type Signal struct {
+	waiters []*Process
+}
+
+// Wait suspends p until the next Fire.
+func (s *Signal) Wait(p *Process) {
+	s.waiters = append(s.waiters, p)
+	p.yield()
+}
+
+// Fire resumes every currently waiting process at the present time, in the
+// order they called Wait.
+func (s *Signal) Fire(e *Engine) {
+	ws := s.waiters
+	s.waiters = nil
+	for _, w := range ws {
+		w := w
+		e.Schedule(0, func() { e.activate(w) })
+	}
+}
+
+// Pending returns the number of processes currently waiting.
+func (s *Signal) Pending() int { return len(s.waiters) }
+
+// Gate is a level-triggered latch: Wait returns immediately once Open has
+// been called, regardless of ordering.
+type Gate struct {
+	open bool
+	sig  Signal
+}
+
+// Open releases the gate, waking current and future waiters.
+func (g *Gate) Open(e *Engine) {
+	if g.open {
+		return
+	}
+	g.open = true
+	g.sig.Fire(e)
+}
+
+// Wait blocks p until the gate is open.
+func (g *Gate) Wait(p *Process) {
+	if g.open {
+		return
+	}
+	g.sig.Wait(p)
+}
+
+// IsOpen reports whether Open has been called.
+func (g *Gate) IsOpen() bool { return g.open }
+
+// Resource is a FIFO counting semaphore (e.g. CPU cores on a node, kernel
+// engines on a GPU).
+type Resource struct {
+	Capacity int
+	inUse    int
+	queue    []*Process
+	busy     float64 // accumulated unit-seconds of use
+	lastT    float64
+}
+
+// NewResource returns a resource with the given capacity.
+func NewResource(capacity int) *Resource {
+	return &Resource{Capacity: capacity}
+}
+
+func (r *Resource) account(e *Engine) {
+	r.busy += float64(r.inUse) * (e.now - r.lastT)
+	r.lastT = e.now
+}
+
+// Acquire blocks p until a unit is available and then takes it.
+func (r *Resource) Acquire(p *Process) {
+	e := p.eng
+	if r.inUse < r.Capacity && len(r.queue) == 0 {
+		r.account(e)
+		r.inUse++
+		return
+	}
+	r.queue = append(r.queue, p)
+	p.yield()
+	// The releaser accounted and incremented on our behalf.
+}
+
+// Release returns one unit, waking the longest waiter if any.
+func (r *Resource) Release(e *Engine) {
+	r.account(e)
+	if len(r.queue) > 0 {
+		next := r.queue[0]
+		r.queue = r.queue[1:]
+		// The unit passes directly to next; inUse stays the same.
+		e.Schedule(0, func() { e.activate(next) })
+		return
+	}
+	r.inUse--
+}
+
+// InUse returns the number of units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// BusyTime returns accumulated unit-seconds of utilization up to t.
+func (r *Resource) BusyTime(e *Engine) float64 {
+	r.account(e)
+	return r.busy
+}

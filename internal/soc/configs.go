@@ -1,0 +1,247 @@
+package soc
+
+import (
+	"clustersoc/internal/power"
+	"clustersoc/internal/units"
+)
+
+// NodeConfig assembles one node type: CPU, optional GPU, shared memory
+// system, and a power specification.
+type NodeConfig struct {
+	Name string
+	CPU  CPUConfig
+	GPU  *GPUConfig // nil for CPU-only systems
+	// DRAMBandwidth is the total bandwidth of the node's main memory in
+	// bytes/second; CPU and (integrated) GPU ports contend for it.
+	DRAMBandwidth float64
+	DRAMBytes     float64
+	Power         power.Spec
+}
+
+// JetsonTX1 returns the node the paper's cluster is built from: a Jetson
+// TX1 board. 4x Cortex-A57 @ 1.73 GHz (the boards cap below the
+// documented 1.9 GHz), 2 Maxwell SMs (256 CUDA cores) @ 0.998 GHz, 4 GB
+// LPDDR4 shared between CPU and GPU. STREAM measures 10.7 GB/s from the
+// CPU and 20 GB/s from the GPU.
+func JetsonTX1() NodeConfig {
+	return NodeConfig{
+		Name: "Jetson TX1",
+		CPU: CPUConfig{
+			Name:                "Cortex-A57",
+			Cores:               4,
+			FreqHz:              1.73 * units.GHz,
+			ISA:                 "64-bit ARMv8",
+			ProcTech:            "20nm",
+			IssueWidth:          2.0,
+			PredictorQuality:    0.94,
+			PredictorEntropyExp: 0.9,
+			BranchPenalty:       16,
+			SpecWidth:           2.0,
+			L1DBytes:            32 * units.KiB,
+			L1IBytes:            48 * units.KiB,
+			L2Bytes:             2 * units.MiB,
+			L2SharedBy:          4,
+			L2Quality:           1.0,
+			MemLatencyCycles:    220,
+			MLP:                 4,
+			MemBandwidth:        10.7 * units.GBps,
+			TDPWatts:            15,
+		},
+		GPU: &GPUConfig{
+			Name:            "TX1 Maxwell (integrated)",
+			SMs:             2,
+			CoresPerSM:      128,
+			FreqHz:          0.998 * units.GHz,
+			FP64Ratio:       1.0 / 32,
+			FP16Ratio:       2.0, // Tegra Maxwell's vector half precision
+			L2Bytes:         256 * units.KiB,
+			MemBandwidth:    20 * units.GBps,
+			DedicatedMemory: false,
+			MemoryBytes:     4 * units.GiB, // shared with the CPU
+			PCIeBandwidth:   0,
+			LaunchOverhead:  12 * units.Microsecond,
+			Efficiency:      0.70,
+			ZeroCopyPenalty: 0.75,
+			TDPWatts:        15,
+		},
+		DRAMBandwidth: 20 * units.GBps,
+		DRAMBytes:     4 * units.GiB,
+		Power: power.Spec{
+			IdleWatts:        16, // whole board at the wall: SoC idle, DRAM, eMMC, fan, regulators
+			CPUCoreWatts:     2.2,
+			GPUSMWatts:       5.5,
+			DRAMWattsPerGBps: 0.05,
+			NICWatts:         0,    // set per network profile by the cluster builder
+			PSUEfficiency:    0.80, // cheap per-board bricks
+		},
+	}
+}
+
+// CaviumThunderX returns the dual-socket Cavium ThunderX server of Sec.
+// IV-A: 2 x 48 ARMv8 cores @ 2.0 GHz, 78 KB I / 32 KB D L1, 16 MB L2 per
+// socket shared by all 48 cores, no L3. The microarchitectural parameters
+// encode the paper's two diagnosed weaknesses: a weak branch predictor
+// (short in-order pipeline descended from Octeon III) and very little L2
+// per core under thread contention.
+func CaviumThunderX() NodeConfig {
+	return NodeConfig{
+		Name: "Cavium ThunderX (2S)",
+		CPU: CPUConfig{
+			Name:                "ThunderX CN8890",
+			Cores:               96,
+			FreqHz:              2.0 * units.GHz,
+			ISA:                 "64-bit ARMv8",
+			ProcTech:            "28nm",
+			IssueWidth:          1.25,
+			PredictorQuality:    0.72,
+			PredictorEntropyExp: 1.3,
+			BranchPenalty:       9, // short pipeline keeps the penalty low...
+			SpecWidth:           1.25,
+			L1DBytes:            32 * units.KiB,
+			L1IBytes:            78 * units.KiB,
+			L2Bytes:             32 * units.MiB, // 16 MB per socket
+			L2SharedBy:          96,
+			L2Quality:           0.45,
+			MemLatencyCycles:    320, // ...but the memory system is far away
+			MLP:                 1.8,
+			MemBandwidth:        68 * units.GBps, // 4x DDR4-2133 channels/socket
+			TDPWatts:            240,             // two 120 W sockets
+		},
+		GPU:           nil,
+		DRAMBandwidth: 68 * units.GBps,
+		DRAMBytes:     128 * units.GiB,
+		Power: power.Spec{
+			IdleWatts:        120,
+			CPUCoreWatts:     2.0,
+			DRAMWattsPerGBps: 0.05,
+			PSUEfficiency:    0.90,
+		},
+	}
+}
+
+// XeonGTX980 returns one node of the discrete-GPU comparison cluster of
+// Sec. IV-B: an MSI GTX 980 (16 Maxwell SMs, 2048 CUDA cores @ 1.3 GHz,
+// 4 GB GDDR5 @ 224 GB/s) hosted — because of ARM driver incompatibilities
+// — in a Xeon E5-2630 v3 server, connected with 10 GbE.
+func XeonGTX980() NodeConfig {
+	return NodeConfig{
+		Name: "Xeon + GTX 980",
+		CPU: CPUConfig{
+			Name:                "Xeon E5-2630 v3",
+			Cores:               8,
+			FreqHz:              2.4 * units.GHz,
+			ISA:                 "x86-64",
+			ProcTech:            "22nm",
+			IssueWidth:          2.8,
+			PredictorQuality:    0.985,
+			PredictorEntropyExp: 0.85,
+			BranchPenalty:       16,
+			SpecWidth:           3.0,
+			L1DBytes:            32 * units.KiB,
+			L1IBytes:            32 * units.KiB,
+			L2Bytes:             8 * 256 * units.KiB,
+			L2SharedBy:          8,
+			L2Quality:           1.6, // L3 backs the private L2s
+			L3Bytes:             20 * units.MiB,
+			MemLatencyCycles:    180,
+			MLP:                 8,
+			MemBandwidth:        45 * units.GBps,
+			TDPWatts:            85,
+		},
+		GPU: &GPUConfig{
+			Name:            "MSI GTX 980",
+			SMs:             16,
+			CoresPerSM:      128,
+			FreqHz:          1.3 * units.GHz,
+			FP64Ratio:       1.0 / 32,
+			FP16Ratio:       1.0 / 64, // GM204 has no fast FP16 path
+			L2Bytes:         2 * units.MiB,
+			MemBandwidth:    224 * units.GBps * 0.7, // achievable GDDR5
+			DedicatedMemory: true,
+			MemoryBytes:     4 * units.GiB,
+			PCIeBandwidth:   11 * units.GBps, // PCIe 3.0 x16 effective
+			LaunchOverhead:  8 * units.Microsecond,
+			Efficiency:      0.55, // driver + PCIe sync overheads on small per-iteration grids
+			ZeroCopyPenalty: 0.50, // zero-copy over PCIe is worse still
+			TDPWatts:        165,
+		},
+		DRAMBandwidth: 45 * units.GBps,
+		DRAMBytes:     64 * units.GiB,
+		Power: power.Spec{
+			IdleWatts:        100, // the "Xeon power tax" the paper notes
+			CPUCoreWatts:     5,
+			GPUSMWatts:       9,
+			DRAMWattsPerGBps: 0.05,
+			PSUEfficiency:    0.88,
+		},
+	}
+}
+
+// JetsonTX2 returns the next-generation node the companion thesis (Fox,
+// 2017) evaluates — the natural "what would the proposed organization
+// look like a year later" extension: 4x Cortex-A57 plus 2 Denver cores
+// (modeled as 4 fast A57-class cores at 2.0 GHz), 2 Pascal SMs (256 CUDA
+// cores @ 1.3 GHz) with full-rate FP16, and almost 3x the memory
+// bandwidth (LPDDR4-3732 x128).
+func JetsonTX2() NodeConfig {
+	cfg := JetsonTX1()
+	cfg.Name = "Jetson TX2"
+	cfg.CPU.Name = "Cortex-A57 + Denver2"
+	cfg.CPU.FreqHz = 2.0 * units.GHz
+	cfg.CPU.ProcTech = "16nm"
+	cfg.CPU.MemBandwidth = 30 * units.GBps
+	gpu := *cfg.GPU
+	gpu.Name = "TX2 Pascal (integrated)"
+	gpu.FreqHz = 1.3 * units.GHz
+	gpu.FP64Ratio = 1.0 / 32
+	gpu.FP16Ratio = 2.0
+	gpu.MemBandwidth = 40 * units.GBps
+	gpu.L2Bytes = 512 * units.KiB
+	cfg.GPU = &gpu
+	cfg.DRAMBandwidth = 40 * units.GBps
+	cfg.DRAMBytes = 8 * units.GiB
+	// Same board-power class as the TX1 at the wall.
+	return cfg
+}
+
+// AppliedMicroXGene returns the X-Gene 1 server SoC the paper's related
+// work studies (Azimi et al. [5] compare it against Xeon/Atom; the intro
+// cites its 8 cores and the planned 32-core X-Gene 3): 8 custom ARMv8
+// cores @ 2.4 GHz with a competent out-of-order pipeline but a dated
+// memory system. Included so the NPB comparison can be extended across
+// three ARM server generations.
+func AppliedMicroXGene() NodeConfig {
+	return NodeConfig{
+		Name: "Applied Micro X-Gene 1",
+		CPU: CPUConfig{
+			Name:                "X-Gene 1",
+			Cores:               8,
+			FreqHz:              2.4 * units.GHz,
+			ISA:                 "64-bit ARMv8",
+			ProcTech:            "40nm",
+			IssueWidth:          1.8,
+			PredictorQuality:    0.9,
+			PredictorEntropyExp: 1.1,
+			BranchPenalty:       14,
+			SpecWidth:           2.0,
+			L1DBytes:            32 * units.KiB,
+			L1IBytes:            32 * units.KiB,
+			L2Bytes:             8 * units.MiB, // 256 KB L2/pair + 8 MB L3, folded
+			L2SharedBy:          8,
+			L2Quality:           0.9,
+			MemLatencyCycles:    280,
+			MLP:                 3,
+			MemBandwidth:        22 * units.GBps,
+			TDPWatts:            50,
+		},
+		GPU:           nil,
+		DRAMBandwidth: 22 * units.GBps,
+		DRAMBytes:     64 * units.GiB,
+		Power: power.Spec{
+			IdleWatts:        55,
+			CPUCoreWatts:     4,
+			DRAMWattsPerGBps: 0.05,
+			PSUEfficiency:    0.88,
+		},
+	}
+}

@@ -1,0 +1,190 @@
+// Package soc models the systems-on-chip the paper compares: the Nvidia
+// Jetson TX1 (4x Cortex-A57 + 2 Maxwell SMs, shared LPDDR4), the Cavium
+// ThunderX many-core server CPU, and the Xeon + discrete GTX 980 node.
+//
+// The CPU model is an analytic first-order pipeline model: execution time
+// is base issue time plus branch-misprediction and L2-miss stall terms.
+// Those two terms are exactly the bottlenecks the paper's PLS analysis
+// identifies on the ThunderX, so the model carries the mechanism, not just
+// the outcome. PMU counters are synthesized from the same inputs.
+package soc
+
+import (
+	"math"
+
+	"clustersoc/internal/perf"
+)
+
+// CPUConfig describes one CPU microarchitecture + its memory hierarchy.
+type CPUConfig struct {
+	Name     string
+	Cores    int
+	FreqHz   float64
+	ISA      string
+	ProcTech string // e.g. "20nm", for the Table V/VII emitters
+
+	// IssueWidth is the effective best-case IPC on clean, cache-resident
+	// code (below the architectural width because of dependencies).
+	IssueWidth float64
+	// PredictorQuality in [0,1] is the fraction of worst-case branches the
+	// predictor still gets right; the miss rate for a workload with branch
+	// entropy e is (1-PredictorQuality) * e^PredictorEntropyExp.
+	PredictorQuality float64
+	// PredictorEntropyExp shapes how quickly the predictor degrades as
+	// branches get harder: large history-based predictors (A57, Xeon) stay
+	// accurate longer (exponent > 1); the ThunderX's simple predictor
+	// degrades almost linearly.
+	PredictorEntropyExp float64
+	// BranchPenalty is the pipeline refill cost of a mispredict, cycles.
+	BranchPenalty float64
+	// SpecWidth is how many instructions are issued per cycle down a wrong
+	// path before the mispredict resolves (feeds INST_SPEC).
+	SpecWidth float64
+
+	L1DBytes float64
+	L1IBytes float64
+	L2Bytes  float64
+	// L2SharedBy is the number of cores that share one L2 slice; the
+	// per-core effective capacity is L2Bytes / L2SharedBy. The ThunderX's
+	// 16 MB / 48 cores per socket is the paper's diagnosed weakness.
+	L2SharedBy int
+	// L2Quality scales the *effective* capacity a thread can exploit:
+	// below 1 for low-associativity, contention-prone designs (ThunderX),
+	// above 1 when a further cache level backs the L2 (Xeon L3).
+	L2Quality float64
+	L3Bytes   float64
+
+	// MemLatencyCycles is the L2-miss-to-DRAM latency in cycles.
+	MemLatencyCycles float64
+	// MLP is the memory-level parallelism: how many misses overlap, which
+	// divides the visible stall time.
+	MLP float64
+	// MemBandwidth is the DRAM bandwidth achievable from the CPU side
+	// (STREAM), bytes/second, for the whole chip.
+	MemBandwidth float64
+
+	TDPWatts float64
+}
+
+// CPUWork describes the cost of one compute phase as the workload models
+// emit it: instruction/branch/memory volumes plus two characteristics
+// (branch entropy, working set) that interact with the microarchitecture.
+type CPUWork struct {
+	Instr         float64 // dynamic instructions
+	Flops         float64 // floating-point operations (subset of Instr)
+	Branches      float64 // branch instructions
+	BranchEntropy float64 // 0 = perfectly predictable, 1 = adversarial
+	MemAccesses   float64 // loads + stores
+	L1MissRate    float64 // fraction of accesses missing L1 (spatial locality)
+	WorkingSet    float64 // bytes touched repeatedly (L2 pressure)
+	Bytes         float64 // DRAM traffic generated (through the node DRAM pipe)
+}
+
+// Scale returns the work multiplied by f in all volume fields.
+func (w CPUWork) Scale(f float64) CPUWork {
+	w.Instr *= f
+	w.Flops *= f
+	w.Branches *= f
+	w.MemAccesses *= f
+	w.Bytes *= f
+	return w
+}
+
+// CostResult is the outcome of running CPUWork on one core.
+type CostResult struct {
+	Seconds   float64
+	DRAMBytes float64
+	PMU       perf.PMU
+}
+
+// clamp01 bounds x into [0,1].
+func clamp01(x float64) float64 { return math.Min(1, math.Max(0, x)) }
+
+// BranchMissRate returns the predictor's miss rate for branches of the
+// given entropy (0 = trivially predictable, 1 = adversarial).
+func (c *CPUConfig) BranchMissRate(entropy float64) float64 {
+	if entropy <= 0 {
+		return 0
+	}
+	return (1 - c.PredictorQuality) * math.Pow(clamp01(entropy), c.PredictorEntropyExp)
+}
+
+// EffectiveL2Share returns the L2 capacity one thread can exploit with the
+// given number of active sharers: the cache divided among the sharers,
+// capped at 4x a thread's even split (a thread cannot monopolize a shared
+// cache), scaled by the design's L2Quality.
+func (c *CPUConfig) EffectiveL2Share(sharers int) float64 {
+	if sharers < 1 {
+		sharers = 1
+	}
+	share := c.L2Bytes / float64(sharers)
+	even := c.L2Bytes / float64(c.L2SharedBy)
+	if share > 4*even {
+		share = 4 * even
+	}
+	q := c.L2Quality
+	if q == 0 {
+		q = 1
+	}
+	return share * q
+}
+
+// L2MissRatio returns the model's L2 miss ratio for a thread whose hot
+// working set is workingSet bytes, with `sharers` threads contending. The
+// resident fraction share/WS hits; the rest misses, with a 2% compulsory
+// floor to keep streaming codes honest.
+func (c *CPUConfig) L2MissRatio(workingSet float64, sharers int) float64 {
+	if workingSet <= 0 {
+		return 0.02
+	}
+	share := c.EffectiveL2Share(sharers)
+	if share >= workingSet {
+		return 0.02
+	}
+	return math.Max(0.02, 1-share/workingSet)
+}
+
+// Cost evaluates CPUWork on one core of this CPU with `sharers` active
+// threads contending for the L2. It returns time, DRAM traffic, and the
+// synthesized PMU counters.
+func (c *CPUConfig) Cost(w CPUWork, sharers int) CostResult {
+	missRate := c.BranchMissRate(w.BranchEntropy)
+	mispred := w.Branches * missRate
+
+	l1Refills := w.MemAccesses * clamp01(w.L1MissRate)
+	l2Miss := c.L2MissRatio(w.WorkingSet, sharers)
+	l2Refills := l1Refills * l2Miss
+
+	stallMem := l2Refills * c.MemLatencyCycles / math.Max(1, c.MLP)
+	stallBr := mispred * c.BranchPenalty
+	base := w.Instr / c.IssueWidth
+	cycles := base + stallMem + stallBr
+
+	pmu := perf.PMU{
+		CPUCycles:      cycles,
+		InstRetired:    w.Instr,
+		InstSpec:       w.Instr + mispred*c.BranchPenalty*c.SpecWidth,
+		BrRetired:      w.Branches,
+		BrMisPred:      mispred,
+		L1DCache:       w.MemAccesses,
+		L1DCacheRefill: l1Refills,
+		L1ICache:       w.Instr,
+		L1ICacheRefill: w.Instr * 0.001,
+		L2DCache:       l1Refills,
+		L2DCacheRefill: l2Refills,
+		MemAccess:      w.MemAccesses,
+		StallBackend:   stallMem,
+	}
+	return CostResult{
+		Seconds:   cycles / c.FreqHz,
+		DRAMBytes: w.Bytes,
+		PMU:       pmu,
+	}
+}
+
+// PeakFlops returns the chip's peak double-precision FLOP/s assuming one
+// scalar FMA per cycle per core (conservative, matching -O3 un-tuned code
+// as the paper compiles it).
+func (c *CPUConfig) PeakFlops() float64 {
+	return float64(c.Cores) * c.FreqHz * 2
+}

@@ -1,0 +1,60 @@
+package soc
+
+// GPUConfig describes a CUDA-capable GPU, integrated (TX1) or discrete
+// (GTX 980). Both are Maxwell-family parts, which is why the paper picks
+// the GTX 980 as the discrete comparator.
+type GPUConfig struct {
+	Name       string
+	SMs        int
+	CoresPerSM int
+	FreqHz     float64
+	// FP64Ratio is the double-precision throughput as a fraction of single
+	// precision (1/32 on Maxwell).
+	FP64Ratio float64
+	// FP16Ratio is the half-precision throughput as a fraction of single
+	// precision: 2.0 on the TX1 (vector FP16 is the Tegra Maxwell's
+	// extension) but 1/64 on the desktop GM204 — one of the asymmetries
+	// that favour the SoC for inference.
+	FP16Ratio float64
+	// GPUDirect marks NICs able to DMA straight into device memory. The
+	// TX1 does not support it (Sec. III-B.2: "communication must be
+	// handled by the CPU"); the flag exists to model the what-if.
+	GPUDirect bool
+	L2Bytes   float64
+	// MemBandwidth is the achievable device-memory bandwidth for GPU
+	// accesses: the GPU port of the shared LPDDR4 on the TX1, or GDDR5 on
+	// the GTX 980. Bytes/second.
+	MemBandwidth float64
+	// DedicatedMemory: true for discrete cards with their own DRAM; false
+	// when the GPU shares the node's DRAM with the CPU (the TX1 property
+	// the paper builds on).
+	DedicatedMemory bool
+	MemoryBytes     float64
+	// PCIeBandwidth is the host<->device copy bandwidth for discrete
+	// cards (bytes/second); integrated parts copy through shared DRAM.
+	PCIeBandwidth float64
+	// LaunchOverhead is the fixed CPU-side cost per kernel launch.
+	LaunchOverhead float64
+	// Efficiency is the fraction of peak FLOP/s tuned kernels achieve.
+	Efficiency float64
+	// ZeroCopyPenalty scales memory bandwidth when zero-copy mappings
+	// bypass the cache hierarchy (the TX1 coherency behaviour of Sec.
+	// III-B.5); 1 = no penalty.
+	ZeroCopyPenalty float64
+
+	TDPWatts float64
+}
+
+// PeakFP32 returns peak single-precision FLOP/s (2 ops per core per cycle).
+func (g *GPUConfig) PeakFP32() float64 {
+	return float64(g.SMs*g.CoresPerSM) * 2 * g.FreqHz
+}
+
+// PeakFP64 returns peak double-precision FLOP/s.
+func (g *GPUConfig) PeakFP64() float64 { return g.PeakFP32() * g.FP64Ratio }
+
+// PeakFP16 returns peak half-precision FLOP/s.
+func (g *GPUConfig) PeakFP16() float64 { return g.PeakFP32() * g.FP16Ratio }
+
+// Cores returns the total CUDA core count.
+func (g *GPUConfig) Cores() int { return g.SMs * g.CoresPerSM }

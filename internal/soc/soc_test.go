@@ -1,0 +1,191 @@
+package soc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"clustersoc/internal/units"
+)
+
+func TestPeakFlops(t *testing.T) {
+	tx1 := JetsonTX1()
+	// 256 CUDA cores * 2 ops * 0.998 GHz ~ 511 GFLOPS FP32; /32 FP64.
+	fp32 := tx1.GPU.PeakFP32()
+	if math.Abs(fp32-511e9) > 2e9 {
+		t.Errorf("TX1 peak FP32 = %.1f GFLOPS, want ~511", fp32/1e9)
+	}
+	fp64 := tx1.GPU.PeakFP64()
+	if math.Abs(fp64-16e9) > 0.1e9 {
+		t.Errorf("TX1 peak FP64 = %.2f GFLOPS, want ~16", fp64/1e9)
+	}
+	gtx := XeonGTX980()
+	if gtx.GPU.Cores() != 2048 {
+		t.Errorf("GTX 980 cores = %d, want 2048", gtx.GPU.Cores())
+	}
+	if gtx.GPU.PeakFP32() < 5e12 {
+		t.Errorf("GTX 980 peak FP32 = %v, want > 5 TFLOPS", gtx.GPU.PeakFP32())
+	}
+}
+
+func TestBranchMissRateMonotonic(t *testing.T) {
+	c := JetsonTX1().CPU
+	prev := -1.0
+	for e := 0.0; e <= 1.0; e += 0.1 {
+		m := c.BranchMissRate(e)
+		if m < prev {
+			t.Fatalf("miss rate not monotonic in entropy at %v", e)
+		}
+		prev = m
+	}
+	if c.BranchMissRate(0) != 0 {
+		t.Error("zero-entropy branches should never miss")
+	}
+	if c.BranchMissRate(1) > 1-c.PredictorQuality+1e-12 {
+		t.Error("miss rate exceeds predictor worst case")
+	}
+}
+
+// The ThunderX predictor must be worse than the A57's at every entropy,
+// and the relative gap must WIDEN with entropy: both predictors nail
+// heavily biased loop branches, but the A57's deep global history keeps
+// it accurate on hard branches where the ThunderX's simple predictor
+// collapses — which is why branchy mg exposes the Cavium worst (Fig. 8).
+func TestThunderXPredictorWorse(t *testing.T) {
+	a57 := JetsonTX1().CPU
+	tx := CaviumThunderX().CPU
+	ratioLow := tx.BranchMissRate(0.1) / a57.BranchMissRate(0.1)
+	ratioHigh := tx.BranchMissRate(0.9) / a57.BranchMissRate(0.9)
+	if ratioLow <= 1 || ratioHigh <= 1 {
+		t.Fatalf("ThunderX predictor not worse: low %.2f, high %.2f", ratioLow, ratioHigh)
+	}
+	if ratioHigh <= ratioLow {
+		t.Errorf("expected larger relative gap on hard branches: low %.2f vs high %.2f", ratioLow, ratioHigh)
+	}
+}
+
+// With 32 ranks (the paper's NPB process count), a ThunderX thread sees
+// less effective L2 than an A57 thread does, despite the bigger cache.
+func TestThunderXL2ShareSmaller(t *testing.T) {
+	a57 := JetsonTX1().CPU
+	tx := CaviumThunderX().CPU
+	// TX1 cluster: 4 ranks per node share the 2 MB L2.
+	a57Share := a57.EffectiveL2Share(4)
+	// Cavium: 32 ranks on one machine.
+	txShare := tx.EffectiveL2Share(32)
+	if txShare >= a57Share {
+		t.Fatalf("ThunderX share %.0f KB >= A57 share %.0f KB", txShare/units.KiB, a57Share/units.KiB)
+	}
+}
+
+func TestL2MissRatioBounds(t *testing.T) {
+	c := JetsonTX1().CPU
+	f := func(ws uint32, sharers uint8) bool {
+		r := c.L2MissRatio(float64(ws), int(sharers%16)+1)
+		return r >= 0.02-1e-12 && r <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Bigger working sets miss more.
+	if c.L2MissRatio(16*units.MiB, 4) <= c.L2MissRatio(256*units.KiB, 4) {
+		t.Error("L2 miss ratio not monotonic in working set")
+	}
+	// More sharers miss more.
+	if c.L2MissRatio(1*units.MiB, 4) < c.L2MissRatio(1*units.MiB, 1) {
+		t.Error("L2 miss ratio decreased with more sharers")
+	}
+}
+
+func TestCostBasics(t *testing.T) {
+	c := JetsonTX1().CPU
+	w := CPUWork{
+		Instr:         1e9,
+		Flops:         2e8,
+		Branches:      1e8,
+		BranchEntropy: 0.3,
+		MemAccesses:   3e8,
+		L1MissRate:    0.05,
+		WorkingSet:    4 * units.MiB,
+		Bytes:         1 * units.GB,
+	}
+	r := c.Cost(w, 4)
+	if r.Seconds <= 1e9/c.IssueWidth/c.FreqHz {
+		t.Error("cost must exceed ideal issue time")
+	}
+	if r.DRAMBytes != w.Bytes {
+		t.Error("DRAM bytes not propagated")
+	}
+	if r.PMU.InstRetired != w.Instr || r.PMU.InstSpec <= w.Instr {
+		t.Error("speculative instructions should exceed retired")
+	}
+	if got := r.PMU.IPC(); got <= 0 || got > c.IssueWidth {
+		t.Errorf("IPC %v out of range", got)
+	}
+	// Counters must be self-consistent with the time.
+	if math.Abs(r.PMU.CPUCycles/c.FreqHz-r.Seconds) > 1e-12*r.Seconds {
+		t.Error("cycles and seconds disagree")
+	}
+}
+
+// The paper's central Sec. IV-A finding: on branchy, cache-pressured work
+// a ThunderX core loses to an A57 core even at a higher clock; on clean
+// streaming work it is competitive.
+func TestPerCoreA57VsThunderX(t *testing.T) {
+	a57 := JetsonTX1().CPU
+	tx := CaviumThunderX().CPU
+	branchy := CPUWork{
+		Instr: 1e9, Branches: 2e8, BranchEntropy: 0.5,
+		MemAccesses: 3e8, L1MissRate: 0.08, WorkingSet: 2 * units.MiB,
+	}
+	clean := CPUWork{
+		Instr: 1e9, Branches: 5e7, BranchEntropy: 0.02,
+		MemAccesses: 2e8, L1MissRate: 0.01, WorkingSet: 128 * units.KiB,
+	}
+	slowdownBranchy := tx.Cost(branchy, 32).Seconds / a57.Cost(branchy, 4).Seconds
+	slowdownClean := tx.Cost(clean, 32).Seconds / a57.Cost(clean, 4).Seconds
+	if slowdownBranchy < 1.3 {
+		t.Errorf("ThunderX should lose clearly on branchy work, slowdown=%.2f", slowdownBranchy)
+	}
+	if slowdownClean > slowdownBranchy {
+		t.Errorf("clean work slowdown %.2f should be below branchy %.2f", slowdownClean, slowdownBranchy)
+	}
+}
+
+// Scale is linear in all volume fields.
+func TestWorkScaleProperty(t *testing.T) {
+	c := JetsonTX1().CPU
+	f := func(k uint8) bool {
+		f64 := float64(k%10) + 1
+		w := CPUWork{Instr: 1e8, Branches: 1e7, BranchEntropy: 0.4,
+			MemAccesses: 3e7, L1MissRate: 0.05, WorkingSet: units.MiB, Bytes: 1e8}
+		a := c.Cost(w.Scale(f64), 4).Seconds
+		b := c.Cost(w, 4).Seconds * f64
+		return math.Abs(a-b) < 1e-9*b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The TX2 what-if: faster everywhere than the TX1 but the same power
+// class — the upgrade path the companion thesis measures.
+func TestJetsonTX2Config(t *testing.T) {
+	tx1, tx2 := JetsonTX1(), JetsonTX2()
+	if tx2.GPU.PeakFP32() <= tx1.GPU.PeakFP32() {
+		t.Error("TX2 GPU should out-peak the TX1")
+	}
+	if tx2.GPU.PeakFP16() <= tx2.GPU.PeakFP32() {
+		t.Error("TX2 keeps the Tegra 2x FP16 path")
+	}
+	if tx2.DRAMBandwidth <= tx1.DRAMBandwidth {
+		t.Error("TX2 doubles the memory bandwidth")
+	}
+	if tx2.Power.IdleWatts != tx1.Power.IdleWatts {
+		t.Error("same board power class expected")
+	}
+	// The original GPU config must not be mutated by the derivation.
+	if tx1.GPU.FreqHz != 0.998*units.GHz {
+		t.Error("JetsonTX2 mutated the TX1 GPU config")
+	}
+}

@@ -1,0 +1,55 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"clustersoc/internal/stats"
+)
+
+// Fit the Fig. 5/6 strong-scaling model to measured runtimes and
+// extrapolate past the measured cluster sizes.
+func ExampleFitScaling() {
+	ps := []int{1, 2, 4, 6, 8}
+	// Synthetic runtimes of an Amdahl-shaped code: 1s serial + 40s
+	// parallel + a logarithmic collective term.
+	truth := stats.ScalingFit{A: 1, B: 40, C: 0.5}
+	ts := make([]float64, len(ps))
+	for i, p := range ps {
+		ts[i] = truth.Predict(p)
+	}
+	fit, err := stats.FitScaling(ps, ts)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("r2 = %.3f\n", fit.R2)
+	fmt.Printf("speedup at 8 nodes: %.2f\n", fit.Speedup(8))
+	fmt.Printf("speedup at 64 nodes: %.2f\n", fit.Speedup(64))
+	// Output:
+	// r2 = 1.000
+	// speedup at 8 nodes: 5.82
+	// speedup at 64 nodes: 11.07
+}
+
+// The Sec. IV-A methodology: PLS finds which counters explain a
+// performance gap.
+func ExamplePLS1() {
+	// Eight benchmarks, three relative counters; the response is driven
+	// by the first counter.
+	x := [][]float64{
+		{3.0, 1.1, 1.0}, {1.2, 1.0, 1.1}, {2.8, 1.2, 1.0}, {1.0, 1.0, 1.2},
+		{2.2, 1.1, 1.1}, {1.5, 1.0, 1.0}, {2.6, 1.2, 1.1}, {1.1, 1.0, 1.2},
+	}
+	y := []float64{2.4, 0.9, 2.3, 0.7, 1.8, 1.1, 2.1, 0.8}
+	res, err := stats.PLS1(x, y, 2)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	top := res.TopVariables(1)
+	fmt.Printf("dominant variable: %d\n", top[0])
+	fmt.Printf("components for 95%%: %d\n", res.ComponentsFor(0.95))
+	// Output:
+	// dominant variable: 0
+	// components for 95%: 2
+}

@@ -1,0 +1,222 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// PLSResult holds a fitted PLS1 regression.
+type PLSResult struct {
+	// Coeffs are regression coefficients in the original (unstandardized)
+	// variable space, one per column of X; Intercept completes the model.
+	Coeffs    []float64
+	Intercept float64
+	// StdCoeffs are the coefficients on standardized variables — the
+	// comparable magnitudes used to rank variable importance.
+	StdCoeffs []float64
+	// XVarianceExplained[k] is the cumulative fraction of X's variance
+	// captured by components 0..k. The paper keeps enough components to
+	// explain 95% and lands on three.
+	XVarianceExplained []float64
+	Components         int
+}
+
+// PLS1 fits a partial-least-squares regression of y on X with the NIPALS
+// algorithm, using up to maxComponents latent components. X rows are
+// observations (benchmarks), columns are variables (counters); this is the
+// Sec. IV-A methodology: X holds relative counter values of the Cavium
+// server vs the TX1 cluster per benchmark and y the relative performance.
+func PLS1(x [][]float64, y []float64, maxComponents int) (*PLSResult, error) {
+	n := len(x)
+	if n == 0 || len(y) != n {
+		return nil, errors.New("stats: PLS dimension mismatch")
+	}
+	m := len(x[0])
+	if maxComponents > n-1 {
+		maxComponents = n - 1
+	}
+	if maxComponents > m {
+		maxComponents = m
+	}
+	if maxComponents < 1 {
+		return nil, errors.New("stats: not enough data for one component")
+	}
+
+	// Standardize.
+	xm := make([]float64, m)
+	xs := make([]float64, m)
+	for j := 0; j < m; j++ {
+		col := make([]float64, n)
+		for i := 0; i < n; i++ {
+			col[i] = x[i][j]
+		}
+		xm[j] = Mean(col)
+		xs[j] = StdDev(col)
+		if xs[j] == 0 {
+			xs[j] = 1 // constant column carries no information
+		}
+	}
+	ym, ys := Mean(y), StdDev(y)
+	if ys == 0 {
+		ys = 1
+	}
+	xx := make([][]float64, n)
+	yy := make([]float64, n)
+	totVar := 0.0
+	for i := 0; i < n; i++ {
+		xx[i] = make([]float64, m)
+		for j := 0; j < m; j++ {
+			xx[i][j] = (x[i][j] - xm[j]) / xs[j]
+			totVar += xx[i][j] * xx[i][j]
+		}
+		yy[i] = (y[i] - ym) / ys
+	}
+
+	var ws, ps, qs [][]float64 // weights, X-loadings; qs stored as 1-vectors
+	var explained []float64
+	removed := 0.0
+	for k := 0; k < maxComponents; k++ {
+		// w = X'y / ||X'y||
+		w := make([]float64, m)
+		norm := 0.0
+		for j := 0; j < m; j++ {
+			for i := 0; i < n; i++ {
+				w[j] += xx[i][j] * yy[i]
+			}
+			norm += w[j] * w[j]
+		}
+		norm = math.Sqrt(norm)
+		if norm < 1e-12 {
+			break
+		}
+		for j := range w {
+			w[j] /= norm
+		}
+		// t = Xw
+		t := make([]float64, n)
+		tt := 0.0
+		for i := 0; i < n; i++ {
+			for j := 0; j < m; j++ {
+				t[i] += xx[i][j] * w[j]
+			}
+			tt += t[i] * t[i]
+		}
+		if tt < 1e-12 {
+			break
+		}
+		// p = X't / t't ; q = y't / t't
+		p := make([]float64, m)
+		q := 0.0
+		for j := 0; j < m; j++ {
+			for i := 0; i < n; i++ {
+				p[j] += xx[i][j] * t[i]
+			}
+			p[j] /= tt
+		}
+		for i := 0; i < n; i++ {
+			q += yy[i] * t[i]
+		}
+		q /= tt
+		// Deflate.
+		comp := 0.0
+		for i := 0; i < n; i++ {
+			for j := 0; j < m; j++ {
+				d := t[i] * p[j]
+				xx[i][j] -= d
+				comp += d * d
+			}
+			yy[i] -= t[i] * q
+		}
+		removed += comp
+		ws = append(ws, w)
+		ps = append(ps, p)
+		qs = append(qs, []float64{q})
+		if totVar > 0 {
+			explained = append(explained, removed/totVar)
+		} else {
+			explained = append(explained, 1)
+		}
+	}
+	k := len(ws)
+	if k == 0 {
+		return nil, errors.New("stats: PLS found no informative component")
+	}
+
+	// B_std = W (P'W)^{-1} Q
+	ptw := make([][]float64, k)
+	for a := 0; a < k; a++ {
+		ptw[a] = make([]float64, k)
+		for b := 0; b < k; b++ {
+			for j := 0; j < m; j++ {
+				ptw[a][b] += ps[a][j] * ws[b][j]
+			}
+		}
+	}
+	qv := make([]float64, k)
+	for a := 0; a < k; a++ {
+		qv[a] = qs[a][0]
+	}
+	// Solve (P'W) z = Q, then B = W z.
+	z, err := solve(ptw, qv)
+	if err != nil {
+		return nil, err
+	}
+	bStd := make([]float64, m)
+	for j := 0; j < m; j++ {
+		for a := 0; a < k; a++ {
+			bStd[j] += ws[a][j] * z[a]
+		}
+	}
+	res := &PLSResult{
+		StdCoeffs:          bStd,
+		Coeffs:             make([]float64, m),
+		XVarianceExplained: explained,
+		Components:         k,
+	}
+	inter := ym
+	for j := 0; j < m; j++ {
+		res.Coeffs[j] = bStd[j] * ys / xs[j]
+		inter -= res.Coeffs[j] * xm[j]
+	}
+	res.Intercept = inter
+	return res, nil
+}
+
+// ComponentsFor95 returns how many components are needed to explain at
+// least frac of X's variance (the paper uses 0.95 and finds three).
+func (r *PLSResult) ComponentsFor(frac float64) int {
+	for i, v := range r.XVarianceExplained {
+		if v >= frac {
+			return i + 1
+		}
+	}
+	return r.Components
+}
+
+// TopVariables returns the indices of the count variables with the largest
+// |standardized coefficient|, in decreasing order of importance — the
+// paper picks the top three and gets BR_MIS_PRED, INST_SPEC, and the L2
+// miss ratio.
+func (r *PLSResult) TopVariables(count int) []int {
+	idx := make([]int, len(r.StdCoeffs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return math.Abs(r.StdCoeffs[idx[a]]) > math.Abs(r.StdCoeffs[idx[b]])
+	})
+	if count > len(idx) {
+		count = len(idx)
+	}
+	return idx[:count]
+}
+
+// Predict evaluates the regression on one observation.
+func (r *PLSResult) Predict(x []float64) float64 {
+	y := r.Intercept
+	for j, c := range r.Coeffs {
+		y += c * x[j]
+	}
+	return y
+}

@@ -1,0 +1,193 @@
+// Package stats implements the statistical machinery of the paper's
+// analyses: ordinary least squares with r-squared (the scalability-curve
+// fits of Figs. 5 and 6 report average r² values), the NIPALS partial
+// least squares (PLS1) regression used in Sec. IV-A to identify which
+// performance counters explain the Cavium/TX1 performance gap, and the
+// speedup-extrapolation model fit.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(xs []float64) float64 {
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		s += (x - m) * (x - m)
+	}
+	if len(xs) == 0 {
+		return 0
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// solve performs Gaussian elimination with partial pivoting on the n x n
+// system a*x = b, destroying its inputs.
+func solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		// pivot
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-14 {
+			return nil, errors.New("stats: singular system")
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / a[col][col]
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := b[r]
+		for c := r + 1; c < n; c++ {
+			s -= a[r][c] * x[c]
+		}
+		x[r] = s / a[r][r]
+	}
+	return x, nil
+}
+
+// LeastSquares fits y ~ X*beta (no implicit intercept: include a column of
+// ones in X if one is wanted) by the normal equations and returns beta.
+func LeastSquares(x [][]float64, y []float64) ([]float64, error) {
+	if len(x) != len(y) || len(x) == 0 {
+		return nil, fmt.Errorf("stats: dimension mismatch: %d rows vs %d targets", len(x), len(y))
+	}
+	m := len(x[0])
+	xtx := make([][]float64, m)
+	xty := make([]float64, m)
+	for i := range xtx {
+		xtx[i] = make([]float64, m)
+	}
+	for r := range x {
+		if len(x[r]) != m {
+			return nil, errors.New("stats: ragged design matrix")
+		}
+		for i := 0; i < m; i++ {
+			xty[i] += x[r][i] * y[r]
+			for j := 0; j < m; j++ {
+				xtx[i][j] += x[r][i] * x[r][j]
+			}
+		}
+	}
+	return solve(xtx, xty)
+}
+
+// RSquared returns the coefficient of determination of predictions vs
+// observations.
+func RSquared(observed, predicted []float64) float64 {
+	m := Mean(observed)
+	var ssRes, ssTot float64
+	for i := range observed {
+		d := observed[i] - predicted[i]
+		ssRes += d * d
+		t := observed[i] - m
+		ssTot += t * t
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}
+
+// ScalingFit is a fitted strong-scaling runtime model
+//
+//	T(P) = a + b/P + c*ln(P)
+//
+// combining Amdahl's serial term (a), the parallelizable term (b/P), and a
+// logarithmic communication term (c ln P) — the standard form for
+// tree-collective-dominated codes. It is fit to measured (P, T) pairs and
+// used to extrapolate the speedup curves of Figs. 5 and 6.
+type ScalingFit struct {
+	A, B, C float64
+	R2      float64
+}
+
+// FitScaling fits the model to measured points. At least three distinct P
+// values are required.
+func FitScaling(ps []int, ts []float64) (ScalingFit, error) {
+	if len(ps) != len(ts) || len(ps) < 3 {
+		return ScalingFit{}, errors.New("stats: need >= 3 (P, T) points")
+	}
+	x := make([][]float64, len(ps))
+	for i, p := range ps {
+		fp := float64(p)
+		x[i] = []float64{1, 1 / fp, math.Log(fp)}
+	}
+	beta, err := LeastSquares(x, ts)
+	if err != nil {
+		return ScalingFit{}, err
+	}
+	fit := ScalingFit{A: beta[0], B: beta[1], C: beta[2]}
+	// A negative communication coefficient has no physical meaning (it
+	// sends the extrapolated runtime to zero); refit the pure Amdahl form.
+	if fit.C < 0 {
+		for i := range x {
+			x[i] = x[i][:2]
+		}
+		if beta2, err2 := LeastSquares(x, ts); err2 == nil {
+			fit = ScalingFit{A: beta2[0], B: beta2[1]}
+		}
+	}
+	pred := make([]float64, len(ps))
+	for i, p := range ps {
+		pred[i] = fit.Predict(p)
+	}
+	fit.R2 = RSquared(ts, pred)
+	return fit, nil
+}
+
+// Predict returns the modeled runtime at P nodes.
+func (f ScalingFit) Predict(p int) float64 {
+	fp := float64(p)
+	return f.A + f.B/fp + f.C*math.Log(fp)
+}
+
+// Speedup returns the modeled speedup at P nodes relative to 1 node,
+// clamped to the physically meaningful range [0, P]: an extrapolated
+// strong-scaling curve cannot beat linear, and a fit whose runtime crosses
+// zero saturates at linear rather than exploding.
+func (f ScalingFit) Speedup(p int) float64 {
+	t1 := f.Predict(1)
+	tp := f.Predict(p)
+	if tp <= 0 || t1 <= 0 {
+		return float64(p)
+	}
+	s := t1 / tp
+	if s > float64(p) {
+		return float64(p)
+	}
+	if s < 0 {
+		return 0
+	}
+	return s
+}

@@ -1,0 +1,180 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLeastSquaresExact(t *testing.T) {
+	// y = 2 + 3x, exactly.
+	x := [][]float64{{1, 0}, {1, 1}, {1, 2}, {1, 3}}
+	y := []float64{2, 5, 8, 11}
+	beta, err := LeastSquares(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(beta[0]-2) > 1e-9 || math.Abs(beta[1]-3) > 1e-9 {
+		t.Fatalf("beta = %v, want [2 3]", beta)
+	}
+}
+
+func TestLeastSquaresSingular(t *testing.T) {
+	x := [][]float64{{1, 2}, {2, 4}, {3, 6}} // collinear columns
+	if _, err := LeastSquares(x, []float64{1, 2, 3}); err == nil {
+		t.Fatal("expected singular-system error")
+	}
+}
+
+func TestRSquared(t *testing.T) {
+	obs := []float64{1, 2, 3, 4}
+	if r := RSquared(obs, obs); math.Abs(r-1) > 1e-12 {
+		t.Errorf("perfect fit r2 = %v", r)
+	}
+	mean := []float64{2.5, 2.5, 2.5, 2.5}
+	if r := RSquared(obs, mean); math.Abs(r) > 1e-12 {
+		t.Errorf("mean predictor r2 = %v, want 0", r)
+	}
+}
+
+func TestFitScalingRecoversModel(t *testing.T) {
+	truth := ScalingFit{A: 2, B: 40, C: 0.8}
+	ps := []int{1, 2, 4, 6, 8}
+	ts := make([]float64, len(ps))
+	for i, p := range ps {
+		ts[i] = truth.Predict(p)
+	}
+	fit, err := FitScaling(ps, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.A-2) > 1e-6 || math.Abs(fit.B-40) > 1e-6 || math.Abs(fit.C-0.8) > 1e-6 {
+		t.Fatalf("fit = %+v", fit)
+	}
+	if fit.R2 < 0.999999 {
+		t.Fatalf("r2 = %v on exact data", fit.R2)
+	}
+	// Extrapolation is monotone here and saturates per Amdahl.
+	if fit.Speedup(16) <= fit.Speedup(8) && truth.Predict(16) < truth.Predict(8) {
+		t.Error("speedup extrapolation inconsistent")
+	}
+}
+
+func TestFitScalingNeedsPoints(t *testing.T) {
+	if _, err := FitScaling([]int{2, 4}, []float64{1, 2}); err == nil {
+		t.Fatal("expected error with 2 points")
+	}
+}
+
+func TestSpeedupAtOneIsOne(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		fit := ScalingFit{A: float64(a) + 1, B: float64(b) + 1, C: float64(c) * 0.01}
+		return math.Abs(fit.Speedup(1)-1) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// PLS on data with a single dominant driver must rank that variable first
+// and recover a usable regression.
+func TestPLS1FindsDominantVariable(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	n, m := 16, 6
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = make([]float64, m)
+		for j := 0; j < m; j++ {
+			x[i][j] = rng.NormFloat64()
+		}
+		// y driven by var 2 strongly, var 4 less so.
+		y[i] = 5*x[i][2] + 2*x[i][4] + 0.01*rng.NormFloat64()
+	}
+	res, err := PLS1(x, y, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := res.TopVariables(2)
+	if top[0] != 2 {
+		t.Fatalf("top variable = %d, want 2 (std coeffs %v)", top[0], res.StdCoeffs)
+	}
+	if top[1] != 4 {
+		t.Errorf("second variable = %d, want 4", top[1])
+	}
+	// Predictions should track y closely.
+	pred := make([]float64, n)
+	for i := range pred {
+		pred[i] = res.Predict(x[i])
+	}
+	if r2 := RSquared(y, pred); r2 < 0.95 {
+		t.Fatalf("PLS r2 = %v", r2)
+	}
+}
+
+// With y an exact linear function of X and enough components, PLS must
+// reproduce OLS-quality coefficients.
+func TestPLS1ExactLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n, m := 12, 3
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		y[i] = 1 + 2*x[i][0] - 3*x[i][1] + 0.5*x[i][2]
+	}
+	res, err := PLS1(x, y, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, -3, 0.5}
+	for j, w := range want {
+		if math.Abs(res.Coeffs[j]-w) > 1e-6 {
+			t.Fatalf("coeffs = %v, want %v", res.Coeffs, want)
+		}
+	}
+	if math.Abs(res.Intercept-1) > 1e-6 {
+		t.Fatalf("intercept = %v", res.Intercept)
+	}
+}
+
+func TestPLSVarianceExplainedMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n, m := 10, 5
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = make([]float64, m)
+		for j := range x[i] {
+			x[i][j] = rng.NormFloat64()
+		}
+		y[i] = x[i][0] + rng.NormFloat64()
+	}
+	res, err := PLS1(x, y, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for _, v := range res.XVarianceExplained {
+		if v < prev-1e-9 || v > 1+1e-9 {
+			t.Fatalf("variance explained not monotone in [0,1]: %v", res.XVarianceExplained)
+		}
+		prev = v
+	}
+	if got := res.ComponentsFor(0.0); got != 1 {
+		t.Errorf("ComponentsFor(0) = %d", got)
+	}
+}
+
+func TestPLSConstantColumnHarmless(t *testing.T) {
+	x := [][]float64{{1, 5}, {2, 5}, {3, 5}, {4, 5}}
+	y := []float64{2, 4, 6, 8}
+	res, err := PLS1(x, y, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Predict([]float64{5, 5})-10) > 1e-6 {
+		t.Fatalf("prediction with constant column broken: %v", res.Predict([]float64{5, 5}))
+	}
+}

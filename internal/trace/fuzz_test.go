@@ -1,0 +1,55 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead hardens the trace parser: arbitrary input must produce either
+// a valid trace or an error — never a panic, never a trace that breaks
+// the replayer's invariants.
+func FuzzRead(f *testing.F) {
+	// Seed with a valid trace.
+	tr := New([]int{0, 1})
+	tr.RecordCompute(0, 1, 0)
+	tr.RecordSend(0, 1, 3, 100, 1, 1.1)
+	tr.RecordRecv(1, 0, 3, 0, 1.2)
+	tr.Finish(1.2)
+	var buf bytes.Buffer
+	if err := tr.T.Write(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{"version":1,"ranks":0,"runtime":0}`))
+	f.Add([]byte(`{"version":1,"ranks":1,"runtime":1}` + "\n" + `{"rank":0,"node":0,"ops":[{"Kind":0,"Dur":1}]}`))
+	f.Add([]byte("garbage"))
+	f.Add([]byte(`{"version":1,"ranks":-5}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successfully parsed trace must be structurally sound.
+		for i, r := range got.Ranks {
+			if r == nil {
+				t.Fatalf("rank %d nil in accepted trace", i)
+			}
+			if r.Rank != i {
+				t.Fatalf("rank %d mislabeled as %d", i, r.Rank)
+			}
+		}
+		// Round trip: what we read must write and re-read identically.
+		var out bytes.Buffer
+		if err := got.Write(&out); err != nil {
+			t.Fatalf("re-write failed: %v", err)
+		}
+		again, err := Read(&out)
+		if err != nil {
+			t.Fatalf("re-read failed: %v", err)
+		}
+		if len(again.Ranks) != len(got.Ranks) {
+			t.Fatal("round trip changed rank count")
+		}
+	})
+}

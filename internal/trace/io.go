@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Traces serialize to a line-oriented JSON format (one header line, then
+// one line per rank) so large traces stream without holding a second copy
+// in memory — the workflow is: clustersim -trace out.trace, then
+// cmd/replay re-times it under a different network, like the paper's
+// Extrae -> DIMEMAS pipeline.
+
+// header is the first line of a trace file.
+type header struct {
+	Version int     `json:"version"`
+	Ranks   int     `json:"ranks"`
+	Runtime float64 `json:"runtime"`
+}
+
+// rankLine is one rank's serialized ops.
+type rankLine struct {
+	Rank int  `json:"rank"`
+	Node int  `json:"node"`
+	Ops  []Op `json:"ops"`
+}
+
+// currentVersion is bumped on incompatible format changes.
+const currentVersion = 1
+
+// Write serializes the trace.
+func (t *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(header{Version: currentVersion, Ranks: len(t.Ranks), Runtime: t.Runtime}); err != nil {
+		return err
+	}
+	for _, r := range t.Ranks {
+		if err := enc.Encode(rankLine{Rank: r.Rank, Node: r.Node, Ops: r.Ops}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a trace written by Write.
+func Read(r io.Reader) (*Trace, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var h header
+	if err := dec.Decode(&h); err != nil {
+		return nil, fmt.Errorf("trace: bad header: %w", err)
+	}
+	if h.Version != currentVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", h.Version)
+	}
+	if h.Ranks < 0 || h.Ranks > 1<<20 {
+		return nil, fmt.Errorf("trace: implausible rank count %d", h.Ranks)
+	}
+	t := &Trace{Runtime: h.Runtime, Ranks: make([]*RankTrace, h.Ranks)}
+	for i := 0; i < h.Ranks; i++ {
+		var line rankLine
+		if err := dec.Decode(&line); err != nil {
+			return nil, fmt.Errorf("trace: rank line %d: %w", i, err)
+		}
+		if line.Rank < 0 || line.Rank >= h.Ranks {
+			return nil, fmt.Errorf("trace: rank %d out of range", line.Rank)
+		}
+		if t.Ranks[line.Rank] != nil {
+			return nil, fmt.Errorf("trace: duplicate rank %d", line.Rank)
+		}
+		t.Ranks[line.Rank] = &RankTrace{Rank: line.Rank, Node: line.Node, Ops: line.Ops}
+	}
+	for i, r := range t.Ranks {
+		if r == nil {
+			return nil, fmt.Errorf("trace: missing rank %d", i)
+		}
+	}
+	return t, nil
+}
+
+// Summary aggregates a trace for human inspection.
+type Summary struct {
+	Ranks    int
+	Runtime  float64
+	Ops      int
+	Compute  float64 // total compute seconds across ranks
+	Copies   float64 // total copy seconds
+	Messages int
+	Bytes    float64
+}
+
+// Summarize computes the aggregate view.
+func (t *Trace) Summarize() Summary {
+	s := Summary{Ranks: len(t.Ranks), Runtime: t.Runtime}
+	for _, r := range t.Ranks {
+		s.Ops += len(r.Ops)
+		for _, op := range r.Ops {
+			switch op.Kind {
+			case OpCompute:
+				s.Compute += op.Dur
+			case OpCopy:
+				s.Copies += op.Dur
+			case OpSend:
+				s.Messages++
+				s.Bytes += op.Bytes
+			}
+		}
+	}
+	return s
+}

@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Timeline renders a PARAVER-style per-rank activity view of the trace:
+// one row per rank, time bucketed into fixed-width cells, each cell
+// showing the dominant activity — compute ('#'), host<->device copies
+// ('='), blocked in communication ('.'), or idle (' '). The paper reads
+// exactly this kind of view off its Extrae traces to reason about LB and
+// Ser before replaying with DIMEMAS.
+
+// timeline activity classes, by display priority.
+const (
+	actIdle = iota
+	actComm
+	actCopy
+	actCompute
+)
+
+var actGlyph = [...]byte{' ', '.', '=', '#'}
+
+// Timeline renders the trace over `width` time buckets.
+func (t *Trace) Timeline(width int) string {
+	if width < 10 {
+		width = 80
+	}
+	end := t.Runtime
+	if end <= 0 {
+		for _, r := range t.Ranks {
+			for _, op := range r.Ops {
+				if op.End > end {
+					end = op.End
+				}
+			}
+		}
+	}
+	if end <= 0 {
+		return "(empty trace)\n"
+	}
+	bucket := end / float64(width)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline: %s per cell, '#' compute, '=' copy, '.' comm wait\n", fmtDur(bucket))
+	for _, r := range t.Ranks {
+		cells := make([]int, width)
+		mark := func(start, stop float64, act int) {
+			if stop <= start {
+				return
+			}
+			lo := int(start / bucket)
+			hi := int(stop / bucket)
+			if hi >= width {
+				hi = width - 1
+			}
+			for c := lo; c <= hi; c++ {
+				if act > cells[c] {
+					cells[c] = act
+				}
+			}
+		}
+		for _, op := range r.Ops {
+			switch op.Kind {
+			case OpCompute:
+				mark(op.Start, op.End, actCompute)
+			case OpCopy:
+				mark(op.Start, op.End, actCopy)
+			case OpSend, OpRecv:
+				mark(op.Start, op.End, actComm)
+			}
+		}
+		row := make([]byte, width)
+		for c, act := range cells {
+			row[c] = actGlyph[act]
+		}
+		fmt.Fprintf(&b, "rank %3d |%s|\n", r.Rank, string(row))
+	}
+
+	// Per-rank utilization summary.
+	comp := t.ComputeSeconds()
+	fmt.Fprintf(&b, "\nutilization (compute+copy / runtime):\n")
+	for i, c := range comp {
+		frac := 0.0
+		if end > 0 {
+			frac = c / end
+		}
+		fmt.Fprintf(&b, "rank %3d %5.1f%% %s\n", i, 100*frac, strings.Repeat("*", int(frac*30)))
+	}
+	return b.String()
+}
+
+func fmtDur(s float64) string {
+	switch {
+	case s >= 1:
+		return fmt.Sprintf("%.2fs", s)
+	case s >= 1e-3:
+		return fmt.Sprintf("%.2fms", s*1e3)
+	default:
+		return fmt.Sprintf("%.0fus", s*1e6)
+	}
+}

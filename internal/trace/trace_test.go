@@ -1,0 +1,172 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRecordAndAggregate(t *testing.T) {
+	tr := New([]int{0, 0, 1})
+	tr.RecordCompute(0, 1.5, 0)
+	tr.RecordCopy(0, 0.5, 1.5)
+	tr.RecordCompute(1, 2.0, 0)
+	tr.RecordSend(0, 2, 7, 1000, 2.0, 2.1)
+	tr.RecordRecv(2, 0, 7, 0, 2.2)
+	tr.Finish(2.2)
+
+	comp := tr.T.ComputeSeconds()
+	if math.Abs(comp[0]-2.0) > 1e-12 || math.Abs(comp[1]-2.0) > 1e-12 || comp[2] != 0 {
+		t.Fatalf("compute seconds %v", comp)
+	}
+	if tr.T.MessageBytes() != 1000 {
+		t.Fatalf("message bytes %v", tr.T.MessageBytes())
+	}
+	if tr.T.Runtime != 2.2 {
+		t.Fatal("runtime not stamped")
+	}
+	if tr.T.Ranks[0].Node != 0 || tr.T.Ranks[2].Node != 1 {
+		t.Fatal("rank-node mapping lost")
+	}
+}
+
+func TestZeroDurationOpsDropped(t *testing.T) {
+	tr := New([]int{0})
+	tr.RecordCompute(0, 0, 1)
+	tr.RecordCopy(0, -1, 1)
+	if len(tr.T.Ranks[0].Ops) != 0 {
+		t.Fatal("zero/negative durations should not be recorded")
+	}
+}
+
+func TestPhases(t *testing.T) {
+	tr := New([]int{0, 1})
+	for it := 0; it < 3; it++ {
+		tr.RecordCompute(0, 1, float64(it))
+		tr.RecordCompute(1, 2, float64(it))
+		tr.RecordPhase(0, float64(it)+1)
+		tr.RecordPhase(1, float64(it)+1)
+	}
+	ph := tr.T.Phases()
+	if len(ph) != 4 { // 3 marked phases + empty tail
+		t.Fatalf("phases = %d", len(ph))
+	}
+	for i := 0; i < 3; i++ {
+		if ph[i][0] != 1 || ph[i][1] != 2 {
+			t.Fatalf("phase %d = %v", i, ph[i])
+		}
+	}
+}
+
+// Property: total compute equals the sum over phases for any op sequence.
+func TestPhaseConservationProperty(t *testing.T) {
+	f := func(durRaw []uint8) bool {
+		tr := New([]int{0})
+		total := 0.0
+		for i, d := range durRaw {
+			dur := float64(d)/10 + 0.1
+			tr.RecordCompute(0, dur, 0)
+			total += dur
+			if i%3 == 2 {
+				tr.RecordPhase(0, 0)
+			}
+		}
+		sum := 0.0
+		for _, ph := range tr.T.Phases() {
+			sum += ph[0]
+		}
+		return math.Abs(sum-total) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	tr := New([]int{0, 0, 1})
+	tr.RecordCompute(0, 1.5, 0)
+	tr.RecordSend(0, 2, 7, 1000, 1.5, 1.6)
+	tr.RecordRecv(2, 0, 7, 0, 1.7)
+	tr.RecordPhase(1, 2)
+	tr.RecordCopy(1, 0.25, 0)
+	tr.Finish(2.5)
+
+	var buf bytes.Buffer
+	if err := tr.T.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Runtime != 2.5 || len(got.Ranks) != 3 {
+		t.Fatalf("header lost: %+v", got)
+	}
+	for i, r := range got.Ranks {
+		orig := tr.T.Ranks[i]
+		if r.Node != orig.Node || len(r.Ops) != len(orig.Ops) {
+			t.Fatalf("rank %d mismatch", i)
+		}
+		for j, op := range r.Ops {
+			if op != orig.Ops[j] {
+				t.Fatalf("rank %d op %d: %+v vs %+v", i, j, op, orig.Ops[j])
+			}
+		}
+	}
+	// Summaries agree.
+	a, b := tr.T.Summarize(), got.Summarize()
+	if a != b {
+		t.Fatalf("summaries differ: %+v vs %+v", a, b)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewBufferString("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Read(bytes.NewBufferString(`{"version":99,"ranks":1,"runtime":1}`)); err == nil {
+		t.Fatal("future version accepted")
+	}
+	if _, err := Read(bytes.NewBufferString(`{"version":1,"ranks":2,"runtime":1}` + "\n" +
+		`{"rank":0,"node":0,"ops":[]}` + "\n" + `{"rank":0,"node":0,"ops":[]}`)); err == nil {
+		t.Fatal("duplicate rank accepted")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	tr := New([]int{0, 1})
+	tr.RecordCompute(0, 2, 0)
+	tr.RecordCopy(0, 1, 2)
+	tr.RecordSend(0, 1, 1, 500, 3, 3.1)
+	tr.RecordRecv(1, 0, 1, 0, 3.2)
+	tr.Finish(3.2)
+	s := tr.T.Summarize()
+	if s.Compute != 2 || s.Copies != 1 || s.Messages != 1 || s.Bytes != 500 || s.Ops != 4 {
+		t.Fatalf("summary %+v", s)
+	}
+}
+
+func TestTimelineRenders(t *testing.T) {
+	tr := New([]int{0, 1})
+	tr.RecordCompute(0, 0.6, 0)
+	tr.RecordSend(0, 1, 1, 100, 0.6, 0.7)
+	tr.RecordCopy(1, 0.2, 0)
+	tr.RecordRecv(1, 0, 1, 0.2, 0.7)
+	tr.Finish(1.0)
+	out := tr.T.Timeline(20)
+	for _, want := range []string{"rank   0", "rank   1", "#", "=", ".", "utilization"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("timeline missing %q:\n%s", want, out)
+		}
+	}
+	// Empty trace handled.
+	if !strings.Contains((&Trace{}).Timeline(20), "empty") {
+		t.Fatal("empty trace should say so")
+	}
+	// Tiny width clamps up rather than panicking.
+	if (&Trace{Runtime: 1, Ranks: []*RankTrace{{}}}).Timeline(1) == "" {
+		t.Fatal("clamped width broke rendering")
+	}
+}

@@ -1,0 +1,100 @@
+// Package units centralizes the unit conventions used across the
+// simulator: bytes, bytes/second, FLOPs, FLOP/s, seconds, watts, joules.
+// All quantities are float64 in SI base units; these helpers exist to make
+// configuration literals readable and formatting consistent.
+package units
+
+import "fmt"
+
+// Byte-quantity constants (decimal, as NIC and DRAM vendors quote them).
+const (
+	KB = 1e3
+	MB = 1e6
+	GB = 1e9
+
+	KiB = 1024.0
+	MiB = 1024.0 * 1024.0
+	GiB = 1024.0 * 1024.0 * 1024.0
+)
+
+// Rate constants.
+const (
+	GBps = 1e9 // gigabytes per second
+	MBps = 1e6
+
+	Gbps = 1e9 / 8 // gigabits per second, expressed in bytes/second
+	Mbps = 1e6 / 8
+)
+
+// FLOP constants.
+const (
+	KFLOP = 1e3
+	MFLOP = 1e6
+	GFLOP = 1e9
+	TFLOP = 1e12
+
+	GFLOPS = 1e9 // FLOP per second
+	MFLOPS = 1e6
+)
+
+// Frequency constants.
+const (
+	MHz = 1e6
+	GHz = 1e9
+)
+
+// Time constants (seconds).
+const (
+	Microsecond = 1e-6
+	Millisecond = 1e-3
+)
+
+// Bytes formats a byte count with a binary-friendly suffix.
+func Bytes(b float64) string {
+	switch {
+	case b >= GB:
+		return fmt.Sprintf("%.2f GB", b/GB)
+	case b >= MB:
+		return fmt.Sprintf("%.2f MB", b/MB)
+	case b >= KB:
+		return fmt.Sprintf("%.2f KB", b/KB)
+	default:
+		return fmt.Sprintf("%.0f B", b)
+	}
+}
+
+// Rate formats a bytes/second rate.
+func Rate(r float64) string {
+	switch {
+	case r >= GBps:
+		return fmt.Sprintf("%.2f GB/s", r/GBps)
+	case r >= MBps:
+		return fmt.Sprintf("%.2f MB/s", r/MBps)
+	default:
+		return fmt.Sprintf("%.0f B/s", r)
+	}
+}
+
+// Flops formats a FLOP/s rate.
+func Flops(f float64) string {
+	switch {
+	case f >= TFLOP:
+		return fmt.Sprintf("%.2f TFLOPS", f/TFLOP)
+	case f >= GFLOP:
+		return fmt.Sprintf("%.2f GFLOPS", f/GFLOP)
+	default:
+		return fmt.Sprintf("%.2f MFLOPS", f/MFLOP)
+	}
+}
+
+// Seconds formats a duration in engineering style.
+func Seconds(s float64) string {
+	switch {
+	case s >= 1:
+		return fmt.Sprintf("%.3f s", s)
+	case s >= Millisecond:
+		return fmt.Sprintf("%.3f ms", s/Millisecond)
+	default:
+		return fmt.Sprintf("%.1f us", s/Microsecond)
+	}
+}

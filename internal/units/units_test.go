@@ -1,0 +1,52 @@
+package units
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestConstants(t *testing.T) {
+	if GB != 1e9 || GiB != 1073741824 {
+		t.Fatal("byte constants wrong")
+	}
+	if Gbps*8 != 1e9 {
+		t.Fatalf("Gbps = %v bytes/s, want 1e9/8", Gbps)
+	}
+	if GHz != 1e9 || Millisecond != 1e-3 {
+		t.Fatal("time/frequency constants wrong")
+	}
+}
+
+func TestFormatting(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{Bytes(1.5 * GB), "1.50 GB"},
+		{Bytes(2 * MB), "2.00 MB"},
+		{Bytes(3 * KB), "3.00 KB"},
+		{Bytes(12), "12 B"},
+		{Rate(2.5 * GBps), "2.50 GB/s"},
+		{Rate(5 * MBps), "5.00 MB/s"},
+		{Flops(1.5 * TFLOP), "1.50 TFLOPS"},
+		{Flops(16 * GFLOP), "16.00 GFLOPS"},
+		{Flops(250 * MFLOP), "250.00 MFLOPS"},
+		{Seconds(1.5), "1.500 s"},
+		{Seconds(2 * Millisecond), "2.000 ms"},
+		{Seconds(50 * Microsecond), "50.0 us"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("got %q want %q", c.got, c.want)
+		}
+	}
+}
+
+func TestFormattingNeverEmpty(t *testing.T) {
+	for _, v := range []float64{0, 1, 999, 1e3, 1e6, 1e9, 1e12, 1e15} {
+		for _, s := range []string{Bytes(v), Rate(v), Flops(v), Seconds(v)} {
+			if strings.TrimSpace(s) == "" {
+				t.Fatalf("empty formatting for %v", v)
+			}
+		}
+	}
+}
