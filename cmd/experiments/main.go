@@ -1,37 +1,68 @@
 // Command experiments regenerates every table and figure of the paper's
 // evaluation section on the simulated testbed and prints the data.
 //
+// The generators declare their scenarios up front and submit them to one
+// shared memoized run-plane, so scenarios shared between artifacts (the
+// Fig. 1 runs reappear in Fig. 3, Table II, Fig. 9, ...) simulate exactly
+// once, concurrently up to -parallel workers. Output is byte-identical
+// at any worker count; the run-plane accounting goes to stderr.
+//
 //	experiments                  # everything, default scale
 //	experiments -only fig1,tab6  # a subset
 //	experiments -scale 0.25     # closer to paper-sized problems
+//	experiments -parallel 1      # sequential run-plane
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"strings"
+	"time"
 
 	"clustersoc/internal/experiments"
 	"clustersoc/internal/plot"
+	"clustersoc/internal/runner"
 )
+
+// artifactKeys is every -only selector, in presentation order.
+var artifactKeys = []string{
+	"tab1", "fig1", "fig2", "fig3", "fig4", "tab2", "fig5", "fig6",
+	"tab3", "fig7", "tab4", "tab5", "tab6", "fig8", "tab7", "fig9",
+	"fig10", "weak", "related",
+}
 
 func main() {
 	var (
 		scale    = flag.Float64("scale", 0.08, "problem scale in (0,1]; shapes are scale-invariant")
-		only     = flag.String("only", "", "comma-separated subset: tab1,fig1,fig2,fig3,fig4,tab2,fig5,fig6,tab3,fig7,tab4,tab5,tab6,fig8,tab7,fig9,fig10,weak,related")
+		only     = flag.String("only", "", "comma-separated subset: "+strings.Join(artifactKeys, ","))
 		jsonPath = flag.String("json", "", "also write every generated artifact as JSON to this file")
+		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
 
 	o := experiments.DefaultOptions()
 	o.Scale = *scale
+	o.Runner = runner.New(*parallel)
+	start := time.Now()
 
+	known := map[string]bool{}
+	for _, k := range artifactKeys {
+		known[k] = true
+	}
 	want := map[string]bool{}
 	if *only != "" {
 		for _, k := range strings.Split(*only, ",") {
-			want[strings.TrimSpace(k)] = true
+			k = strings.TrimSpace(k)
+			if !known[k] {
+				fmt.Fprintf(os.Stderr, "experiments: unknown -only key %q (known: %s)\n",
+					k, strings.Join(artifactKeys, ","))
+				os.Exit(2)
+			}
+			want[k] = true
 		}
 	}
 	sel := func(keys ...string) bool {
@@ -213,9 +244,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		enc := json.NewEncoder(f)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(artifacts); err != nil {
+		if err := writeArtifacts(f, artifacts); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -225,6 +254,49 @@ func main() {
 		}
 		fmt.Printf("\nwrote %d artifacts to %s\n", len(artifacts), *jsonPath)
 	}
+
+	st := o.Runner.Stats()
+	fmt.Fprintf(os.Stderr, "run-plane: %d scenarios submitted, %d simulated, %d duplicates served from cache (%d workers, %.1fs wall)\n",
+		st.Submitted, st.Simulated, st.Hits, o.Runner.Workers(), time.Since(start).Seconds())
+}
+
+// writeArtifacts emits the artifact map with keys in sorted order, one
+// top-level entry at a time. The bytes are identical to encoding the
+// whole map with a json.Encoder at two-space indent (Go's map encoding
+// sorts keys too) — the explicit ordering just makes the contract
+// visible and independent of the container type.
+func writeArtifacts(w io.Writer, artifacts map[string]any) error {
+	keys := make([]string, 0, len(artifacts))
+	for k := range artifacts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if len(keys) == 0 {
+		_, err := io.WriteString(w, "{}\n")
+		return err
+	}
+	if _, err := io.WriteString(w, "{\n"); err != nil {
+		return err
+	}
+	for i, k := range keys {
+		kb, err := json.Marshal(k)
+		if err != nil {
+			return err
+		}
+		vb, err := json.MarshalIndent(artifacts[k], "  ", "  ")
+		if err != nil {
+			return err
+		}
+		sep := ",\n"
+		if i == len(keys)-1 {
+			sep = "\n"
+		}
+		if _, err := fmt.Fprintf(w, "  %s: %s%s", kb, vb, sep); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "}\n")
+	return err
 }
 
 // scalingChart draws the measured speedup curves of a scalability study.

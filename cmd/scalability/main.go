@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"clustersoc/internal/core"
 )
@@ -21,6 +22,7 @@ func main() {
 		netArg      = flag.String("net", "10g", "network: 1g or 10g")
 		scale       = flag.Float64("scale", 0.08, "problem scale")
 		extrapolate = flag.Int("extrapolate", 64, "extrapolate the fitted curve to this many nodes")
+		parallel    = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -29,11 +31,16 @@ func main() {
 		net = core.GigE
 	}
 	sizes := []int{1, 2, 4, 6, 8}
-	res, err := core.Scalability(core.TX1(8, net), *workload, sizes, *scale)
+	start := time.Now()
+	session := core.NewSession(*parallel)
+	res, err := session.Scalability(core.TX1(8, net), *workload, sizes, *scale)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	st := session.Stats()
+	fmt.Fprintf(os.Stderr, "run-plane: %d scenarios submitted, %d simulated, %d duplicates served from cache (%d workers, %.1fs wall)\n",
+		st.Submitted, st.Simulated, st.Hits, session.Runner().Workers(), time.Since(start).Seconds())
 
 	fmt.Printf("strong scaling of %s on the TX1 cluster (%s)\n\n", *workload, *netArg)
 	fmt.Println("  nodes   runtime(s)   speedup")

@@ -7,6 +7,7 @@
 package cluster
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"clustersoc/internal/cuda"
@@ -37,6 +38,25 @@ type Config struct {
 	// III-B.2): NIC DMA straight into device memory, skipping the
 	// host-staging copies around every halo exchange.
 	GPUDirect bool
+}
+
+// Fingerprint returns a canonical, deterministic encoding of the
+// configuration: two Configs describing the same system fingerprint
+// identically. Every field that influences a run participates — node
+// counts, the full SoC model (including the GPU config behind the
+// pointer), the NIC profile, rank density, the CUDA memory model, and
+// the tracing/file-server/GPUDirect switches. The run-plane in
+// internal/runner keys its memoization cache on it.
+func (c Config) Fingerprint() string {
+	// JSON marshalling walks the nested structs (soc.NodeConfig,
+	// network.Profile, power.Spec, *soc.GPUConfig) by value in struct
+	// field order, which is exactly the canonical form needed; none of
+	// the hardware-model types contain maps, so the encoding is stable.
+	b, err := json.Marshal(c)
+	if err != nil {
+		panic(fmt.Sprintf("cluster: config not fingerprintable: %v", err))
+	}
+	return string(b)
 }
 
 // TX1Cluster returns the paper's proposed organization: n Jetson TX1

@@ -305,3 +305,31 @@ func TestContextSurface(t *testing.T) {
 		t.Error("zero-runtime rates should be zero")
 	}
 }
+
+func TestConfigFingerprint(t *testing.T) {
+	a := TX1Cluster(8, network.TenGigE)
+	if a.Fingerprint() != TX1Cluster(8, network.TenGigE).Fingerprint() {
+		t.Fatal("identical configs must share a fingerprint")
+	}
+	variants := []Config{
+		TX1Cluster(4, network.TenGigE),
+		TX1Cluster(8, network.GigE),
+		CaviumServer(32),
+		GTX980Cluster(8),
+	}
+	traced := a
+	traced.Traced = true
+	fs := a
+	fs.FileServer = true
+	gd := a
+	gd.GPUDirect = true
+	variants = append(variants, traced, fs, gd)
+	seen := map[string]bool{a.Fingerprint(): true}
+	for i, v := range variants {
+		fp := v.Fingerprint()
+		if seen[fp] {
+			t.Errorf("variant %d collides with an earlier fingerprint", i)
+		}
+		seen[fp] = true
+	}
+}

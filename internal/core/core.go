@@ -85,20 +85,10 @@ func RunWithMemModel(cfg cluster.Config, workload string, scale float64, model c
 }
 
 // RunWithConfig is Run with a full workload configuration (work-ratio
-// splits, FP16 inference).
+// splits, FP16 inference). It is the one-shot convenience over a
+// single-use sequential Session.
 func RunWithConfig(cfg cluster.Config, workload string, wcfg workloads.Config) (cluster.Result, error) {
-	w, err := workloads.ByName(workload)
-	if err != nil {
-		return cluster.Result{}, err
-	}
-	if w.GPUAccelerated() && cfg.NodeType.GPU == nil {
-		return cluster.Result{}, fmt.Errorf("core: workload %s needs a GPU; %s has none", workload, cfg.Name)
-	}
-	cfg.RanksPerNode = w.RanksPerNode()
-	if cfg.NodeType.CPU.Cores < cfg.RanksPerNode {
-		cfg.RanksPerNode = cfg.NodeType.CPU.Cores
-	}
-	return cluster.New(cfg).Run(w.Body(wcfg)), nil
+	return NewSession(1).RunWithConfig(cfg, workload, wcfg)
 }
 
 // RooflineModel builds the extended roofline (eq. 1-3) for one node of
@@ -159,48 +149,10 @@ type ScalabilityResult struct {
 
 // Scalability traces a workload across cluster sizes on the system type
 // of cfg (the node/network choice; Nodes is overridden per point) and
-// runs the replay decomposition.
+// runs the replay decomposition. It is the sequential convenience over
+// Session.Scalability.
 func Scalability(cfg cluster.Config, workload string, sizes []int, scale float64) (*ScalabilityResult, error) {
-	w, err := workloads.ByName(workload)
-	if err != nil {
-		return nil, err
-	}
-	out := &ScalabilityResult{Workload: workload, Nodes: sizes}
-	for _, n := range sizes {
-		c := cfg
-		c.Nodes = n
-		c.RanksPerNode = w.RanksPerNode()
-		c.Traced = true
-		res := cluster.New(c).Run(w.Body(workloads.Config{Scale: scale}))
-		out.Runtimes = append(out.Runtimes, res.Runtime)
-		if n == sizes[len(sizes)-1] {
-			out.Efficiency = dimemas.Decompose(res.Trace)
-			ideal := dimemas.Replay(res.Trace, dimemas.Options{Net: dimemas.IdealNetwork})
-			lb := dimemas.Replay(res.Trace, dimemas.Options{
-				Net: dimemas.NetworkModel{
-					Name:           cfg.Network.Name,
-					Bandwidth:      cfg.Network.Throughput,
-					Latency:        cfg.Network.Latency,
-					IntraBandwidth: network.MemoryPathBandwidth,
-					IntraLatency:   network.MemoryPathLatency,
-				},
-				IdealLoadBalance: true,
-			})
-			if ideal > 0 {
-				out.IdealNetworkGain = res.Runtime / ideal
-			}
-			if lb > 0 {
-				out.IdealLoadBalanceGain = res.Runtime / lb
-			}
-		}
-	}
-	for _, rt := range out.Runtimes {
-		out.Speedups = append(out.Speedups, out.Runtimes[0]/rt)
-	}
-	if len(sizes) >= 3 {
-		out.Fit, _ = stats.FitScaling(sizes, out.Runtimes)
-	}
-	return out, nil
+	return NewSession(1).Scalability(cfg, workload, sizes, scale)
 }
 
 // Workloads lists the registered workload names, GPU set first.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"reflect"
 	"testing"
 
 	"clustersoc/internal/roofline"
@@ -90,5 +91,66 @@ func TestWorkloadsList(t *testing.T) {
 	}
 	if names[0] != "hpl" {
 		t.Fatalf("first workload %s", names[0])
+	}
+}
+
+func TestSessionMemoizesAndMatchesRun(t *testing.T) {
+	s := NewSession(2)
+	cfg := TX1(2, TenGigE)
+	first, err := s.Run(cfg, "jacobi", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := s.Run(cfg, "jacobi", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, again) {
+		t.Error("memoized rerun returned a different result")
+	}
+	direct, err := Run(cfg, "jacobi", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, direct) {
+		t.Error("session result differs from the one-shot core.Run")
+	}
+	st := s.Stats()
+	if st.Submitted != 2 || st.Hits != 1 || st.Simulated != 1 {
+		t.Errorf("stats = %+v, want one simulation and one hit", st)
+	}
+	// Validation still applies on the session path.
+	if _, err := s.Run(Cavium(), "jacobi", 0.02); err == nil {
+		t.Error("jacobi on the Cavium should error through a session")
+	}
+	if _, err := s.Run(cfg, "nope", 0.02); err == nil {
+		t.Error("unknown workload should error through a session")
+	}
+}
+
+func TestSessionScalabilityMatchesSequential(t *testing.T) {
+	sizes := []int{1, 2, 4}
+	cfg := TX1(4, TenGigE)
+	want, err := Scalability(cfg, "jacobi", sizes, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewSession(4).Scalability(cfg, "jacobi", sizes, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sizes {
+		if got.Runtimes[i] != want.Runtimes[i] || got.Speedups[i] != want.Speedups[i] {
+			t.Errorf("size %d: parallel session diverged from sequential", sizes[i])
+		}
+	}
+	if got.Efficiency != want.Efficiency {
+		t.Error("efficiency decomposition diverged")
+	}
+	if got.IdealNetworkGain != want.IdealNetworkGain || got.IdealLoadBalanceGain != want.IdealLoadBalanceGain {
+		t.Error("replay what-ifs diverged")
+	}
+	if got.Fit != want.Fit {
+		t.Error("scaling fit diverged")
 	}
 }

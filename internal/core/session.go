@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+
+	"clustersoc/internal/cluster"
+	"clustersoc/internal/dimemas"
+	"clustersoc/internal/network"
+	"clustersoc/internal/runner"
+	"clustersoc/internal/stats"
+	"clustersoc/internal/workloads"
+)
+
+// Session is the library face of the run-plane: a memoizing, optionally
+// parallel scenario executor shared across an analysis session. Repeated
+// Run calls with identical (system, workload, config) tuples simulate
+// once; independent runs execute concurrently up to the session's worker
+// bound. The package-level Run/Scalability helpers remain as sequential
+// conveniences.
+type Session struct {
+	r *runner.Runner
+}
+
+// NewSession returns a session executing at most parallel simulations
+// concurrently (<= 0 means GOMAXPROCS, 1 is fully sequential).
+func NewSession(parallel int) *Session {
+	return &Session{r: runner.New(parallel)}
+}
+
+// NewSessionWith wraps an existing runner — e.g. the one cmd/experiments
+// shares with the figure generators — so Session helpers and generators
+// dedupe against each other.
+func NewSessionWith(r *runner.Runner) *Session { return &Session{r: r} }
+
+// Runner exposes the underlying run-plane (for experiments.Options).
+func (s *Session) Runner() *runner.Runner { return s.r }
+
+// Stats reports the session's cache accounting.
+func (s *Session) Stats() runner.Stats { return s.r.Stats() }
+
+// scenario validates and normalizes a run request the way core.Run does.
+func scenario(cfg cluster.Config, workload string, wcfg workloads.Config) (runner.Scenario, error) {
+	w, err := workloads.ByName(workload)
+	if err != nil {
+		return runner.Scenario{}, err
+	}
+	if w.GPUAccelerated() && cfg.NodeType.GPU == nil {
+		return runner.Scenario{}, fmt.Errorf("core: workload %s needs a GPU; %s has none", workload, cfg.Name)
+	}
+	cfg.RanksPerNode = w.RanksPerNode()
+	if cfg.NodeType.CPU.Cores < cfg.RanksPerNode {
+		cfg.RanksPerNode = cfg.NodeType.CPU.Cores
+	}
+	return runner.Scenario{Cluster: cfg, Workload: workload, Config: wcfg}, nil
+}
+
+// Run executes a workload by name on the system at the given problem
+// scale, memoized by the session.
+func (s *Session) Run(cfg cluster.Config, workload string, scale float64) (cluster.Result, error) {
+	return s.RunWithConfig(cfg, workload, workloads.Config{Scale: scale})
+}
+
+// RunWithConfig is Run with a full workload configuration.
+func (s *Session) RunWithConfig(cfg cluster.Config, workload string, wcfg workloads.Config) (cluster.Result, error) {
+	sc, err := scenario(cfg, workload, wcfg)
+	if err != nil {
+		return cluster.Result{}, err
+	}
+	res, err := s.r.Run(sc)
+	return res.Result, err
+}
+
+// Scalability traces a workload across cluster sizes on the system type
+// of cfg (the node/network choice; Nodes is overridden per point) and
+// runs the replay decomposition. The per-size runs are independent, so
+// they execute concurrently under a parallel session.
+func (s *Session) Scalability(cfg cluster.Config, workload string, sizes []int, scale float64) (*ScalabilityResult, error) {
+	w, err := workloads.ByName(workload)
+	if err != nil {
+		return nil, err
+	}
+	var scenarios []runner.Scenario
+	for _, n := range sizes {
+		c := cfg
+		c.Nodes = n
+		c.RanksPerNode = w.RanksPerNode()
+		c.Traced = true
+		scenarios = append(scenarios, runner.Scenario{
+			Cluster:  c,
+			Workload: workload,
+			Config:   workloads.Config{Scale: scale},
+		})
+	}
+	results, err := s.r.RunAll(scenarios)
+	if err != nil {
+		return nil, err
+	}
+	out := &ScalabilityResult{Workload: workload, Nodes: sizes}
+	for i, n := range sizes {
+		res := results[i]
+		out.Runtimes = append(out.Runtimes, res.Runtime)
+		if n == sizes[len(sizes)-1] {
+			out.Efficiency = dimemas.Decompose(res.Trace)
+			ideal := dimemas.Replay(res.Trace, dimemas.Options{Net: dimemas.IdealNetwork})
+			lb := dimemas.Replay(res.Trace, dimemas.Options{
+				Net: dimemas.NetworkModel{
+					Name:           cfg.Network.Name,
+					Bandwidth:      cfg.Network.Throughput,
+					Latency:        cfg.Network.Latency,
+					IntraBandwidth: network.MemoryPathBandwidth,
+					IntraLatency:   network.MemoryPathLatency,
+				},
+				IdealLoadBalance: true,
+			})
+			if ideal > 0 {
+				out.IdealNetworkGain = res.Runtime / ideal
+			}
+			if lb > 0 {
+				out.IdealLoadBalanceGain = res.Runtime / lb
+			}
+		}
+	}
+	for _, rt := range out.Runtimes {
+		out.Speedups = append(out.Speedups, out.Runtimes[0]/rt)
+	}
+	if len(sizes) >= 3 {
+		out.Fit, _ = stats.FitScaling(sizes, out.Runtimes)
+	}
+	return out, nil
+}

@@ -4,6 +4,7 @@ import (
 	"clustersoc/internal/cluster"
 	"clustersoc/internal/network"
 	"clustersoc/internal/perf"
+	"clustersoc/internal/runner"
 	"clustersoc/internal/stats"
 	"clustersoc/internal/workloads"
 )
@@ -40,13 +41,21 @@ type CaviumCompare struct {
 // its NPB baseline configuration (8 nodes, 4 ranks/node, the on-board
 // 1 GbE — the network the CPU-only suite shipped with).
 func Table6(o Options) *CaviumCompare {
+	npb := workloads.NPBWorkloads()
+	var scenarios []runner.Scenario
+	for _, w := range npb {
+		scenarios = append(scenarios,
+			tx1Scenario(w, 8, network.GigE, o.scale()),
+			runner.Scenario{
+				Cluster:  cluster.CaviumServer(32),
+				Workload: w.Name(),
+				Config:   workloads.Config{Scale: o.scale()},
+			})
+	}
+	res := runAll(o, scenarios)
 	out := &CaviumCompare{}
-	for _, w := range workloads.NPBWorkloads() {
-		tx := runTX1(w, 8, network.GigE, o.scale())
-
-		cfg := cluster.CaviumServer(32)
-		cav := cluster.New(cfg).Run(w.Body(workloads.Config{Scale: o.scale()}))
-
+	for i, w := range npb {
+		tx, cav := res[2*i], res[2*i+1]
 		rel := relativeCounters(cav.PMU, tx.PMU)
 		out.Rows = append(out.Rows, CaviumRow{
 			Workload:      w.Name(),

@@ -4,6 +4,7 @@ import (
 	"clustersoc/internal/cluster"
 	"clustersoc/internal/network"
 	"clustersoc/internal/power"
+	"clustersoc/internal/runner"
 	"clustersoc/internal/workloads"
 )
 
@@ -22,36 +23,44 @@ type WorkRatio struct {
 	Points []WorkRatioPoint
 }
 
-// Fig7 regenerates the CPU/GPU work-ratio sweep for hpl.
+// Fig7 regenerates the CPU/GPU work-ratio sweep for hpl. The ratio-1.0
+// scenarios are the plain hpl runs of Figs. 1/9 (workload configs
+// canonicalize the all-GPU split), so a shared run-plane reuses them.
 func Fig7(o Options) *WorkRatio {
-	out := &WorkRatio{}
 	ratios := []float64{0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	var scenarios []runner.Scenario
 	for _, nodes := range o.sizes() {
-		var baseline float64
-		// Sweep from 1.0 down so the baseline exists first.
-		var pts []WorkRatioPoint
-		for i := len(ratios) - 1; i >= 0; i-- {
-			ratio := ratios[i]
-			w, _ := workloads.ByName("hpl")
+		for _, ratio := range ratios {
 			cfg := cluster.TX1Cluster(nodes, network.TenGigE)
 			cfg.RanksPerNode = 1
 			cfg.FileServer = true
-			res := cluster.New(cfg).Run(w.Body(workloads.Config{Scale: o.scale(), GPUWorkRatio: ratio}))
-			eff := res.MFLOPSPerWatt()
+			scenarios = append(scenarios, runner.Scenario{
+				Cluster:  cfg,
+				Workload: "hpl",
+				Config:   workloads.Config{Scale: o.scale(), GPUWorkRatio: ratio},
+			})
+		}
+	}
+	res := runAll(o, scenarios)
+	out := &WorkRatio{}
+	i := 0
+	for _, nodes := range o.sizes() {
+		pts := make([]WorkRatioPoint, len(ratios))
+		var baseline float64
+		for j, ratio := range ratios {
+			eff := res[i].MFLOPSPerWatt()
+			i++
 			if ratio == 1.0 {
 				baseline = eff
 			}
-			pts = append(pts, WorkRatioPoint{Nodes: nodes, Ratio: ratio, Efficiency: eff})
+			pts[j] = WorkRatioPoint{Nodes: nodes, Ratio: ratio, Efficiency: eff}
 		}
-		for i := range pts {
+		for j := range pts {
 			if baseline > 0 {
-				pts[i].Normalized = pts[i].Efficiency / baseline
+				pts[j].Normalized = pts[j].Efficiency / baseline
 			}
 		}
-		// Restore ascending-ratio order for presentation.
-		for i := len(pts) - 1; i >= 0; i-- {
-			out.Points = append(out.Points, pts[i])
-		}
+		out.Points = append(out.Points, pts...)
 	}
 	return out
 }
@@ -96,46 +105,50 @@ type Collocation struct {
 // the CPU-only version (4 ranks/node), the GPU version, and both running
 // collocated (GPU + 3 CPU ranks/node), under both networks.
 func Table4(o Options) *Collocation {
-	out := &Collocation{}
+	wcfg := workloads.Config{Scale: o.scale()}
+	var scenarios []runner.Scenario
 	for _, prof := range []network.Profile{network.GigE, network.TenGigE} {
 		for _, nodes := range o.sizes() {
 			// CPU-only: the HPCC hpl on all 4 cores.
-			cpu := workloads.NewHPLCPU(4)
 			cfgC := cluster.TX1Cluster(nodes, prof)
 			cfgC.RanksPerNode = 4
-			resC := cluster.New(cfgC).Run(cpu.Body(workloads.Config{Scale: o.scale()}))
-			out.Rows = append(out.Rows, CollocationRow{
-				Config: "CPU", Network: prof.Name, Nodes: nodes,
-				ThroughputGFLOPS: resC.Throughput / 1e9,
-				MFLOPSPerWatt:    resC.MFLOPSPerWatt(),
-			})
+			scenarios = append(scenarios, runner.Scenario{Cluster: cfgC, Workload: "hpl-cpu", Config: wcfg})
 
-			// GPU version.
-			gpu, _ := workloads.ByName("hpl")
+			// GPU version — the Fig. 1 hpl scenario for this NIC and size.
 			cfgG := cluster.TX1Cluster(nodes, prof)
 			cfgG.RanksPerNode = 1
 			cfgG.FileServer = true
-			resG := cluster.New(cfgG).Run(gpu.Body(workloads.Config{Scale: o.scale()}))
-			out.Rows = append(out.Rows, CollocationRow{
-				Config: "GPU", Network: prof.Name, Nodes: nodes,
-				ThroughputGFLOPS: resG.Throughput / 1e9,
-				MFLOPSPerWatt:    resG.MFLOPSPerWatt(),
-			})
+			scenarios = append(scenarios, runner.Scenario{Cluster: cfgG, Workload: "hpl", Config: wcfg})
 
 			// Collocated: GPU hpl (1 rank/node, one core for transfers)
 			// plus the CPU hpl on the remaining 3 cores, simultaneously.
 			// Each run solves its own system, so the combined throughput is
 			// the sum of the two jobs' own rates under contention — the way
 			// the paper tallies its simultaneous runs.
-			cfgB := cluster.TX1Cluster(nodes, prof)
-			cfgB.RanksPerNode = 1
-			cfgB.FileServer = true
-			cl := cluster.New(cfgB)
-			jobGPU := cl.Spawn(gpu.Body(workloads.Config{Scale: o.scale()}))
-			cpu3 := workloads.NewHPLCPU(3)
-			jobCPU := cl.SpawnWith(3, cpu3.Body(workloads.Config{Scale: o.scale()}))
-			resB := cl.Finish()
-			combined := jobGPU.Throughput() + jobCPU.Throughput()
+			scenarios = append(scenarios, runner.Scenario{
+				Cluster: cfgG, Workload: "hpl", Config: wcfg,
+				Colocated: []runner.Job{{Workload: "hpl-cpu", RanksPerNode: 3, Config: wcfg}},
+			})
+		}
+	}
+	res := runAll(o, scenarios)
+	out := &Collocation{}
+	i := 0
+	for _, prof := range []network.Profile{network.GigE, network.TenGigE} {
+		for _, nodes := range o.sizes() {
+			resC, resG, resB := res[i], res[i+1], res[i+2]
+			i += 3
+			out.Rows = append(out.Rows, CollocationRow{
+				Config: "CPU", Network: prof.Name, Nodes: nodes,
+				ThroughputGFLOPS: resC.Throughput / 1e9,
+				MFLOPSPerWatt:    resC.MFLOPSPerWatt(),
+			})
+			out.Rows = append(out.Rows, CollocationRow{
+				Config: "GPU", Network: prof.Name, Nodes: nodes,
+				ThroughputGFLOPS: resG.Throughput / 1e9,
+				MFLOPSPerWatt:    resG.MFLOPSPerWatt(),
+			})
+			combined := resB.JobThroughputs[0] + resB.JobThroughputs[1]
 			out.Rows = append(out.Rows, CollocationRow{
 				Config: "CPU+GPU", Network: prof.Name, Nodes: nodes,
 				ThroughputGFLOPS: combined / 1e9,

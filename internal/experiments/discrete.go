@@ -2,8 +2,17 @@ package experiments
 
 import (
 	"clustersoc/internal/cluster"
+	"clustersoc/internal/runner"
 	"clustersoc/internal/workloads"
 )
+
+// gtx980Scenario declares the discrete-GPU baseline run: a workload on n
+// Xeon-hosted GTX 980 nodes with the file server attached.
+func gtx980Scenario(w workloads.Workload, n int, scale float64) runner.Scenario {
+	cfg := cluster.GTX980Cluster(n)
+	cfg.FileServer = true
+	return runner.Scenario{Cluster: cfg, Workload: w.Name(), Config: workloads.Config{Scale: scale}}
+}
 
 // DiscreteRow is one Fig. 9 point: a GPGPU workload on a TX1 cluster of
 // some size, normalized to the 2x GTX 980 discrete cluster.
@@ -27,15 +36,25 @@ type Discrete struct {
 // TX1 clusters of 2-8 nodes, normalized to two GTX 980 hosts. Both
 // clusters sit on 10 GbE and roughly the same wall power (Sec. IV-B).
 func Fig9(o Options) *Discrete {
+	gpu := workloads.GPUWorkloads()
+	var scenarios []runner.Scenario
+	for _, w := range gpu {
+		scenarios = append(scenarios, gtx980Scenario(w, 2, o.scale()))
+		for _, nodes := range o.sizes() {
+			scenarios = append(scenarios, tx1Scenario(w, nodes, tenGig(), o.scale()))
+		}
+	}
+	res := runAll(o, scenarios)
 	out := &Discrete{GTXRuntime: map[string]float64{}, GTXEnergy: map[string]float64{}}
-	for _, w := range workloads.GPUWorkloads() {
-		gcfg := cluster.GTX980Cluster(2)
-		gcfg.FileServer = true
-		g := cluster.New(gcfg).Run(w.Body(workloads.Config{Scale: o.scale()}))
+	i := 0
+	for _, w := range gpu {
+		g := res[i]
+		i++
 		out.GTXRuntime[w.Name()] = g.Runtime
 		out.GTXEnergy[w.Name()] = g.EnergyJoules
 		for _, nodes := range o.sizes() {
-			r := runTX1(w, nodes, tenGig(), o.scale())
+			r := res[i]
+			i++
 			out.Rows = append(out.Rows, DiscreteRow{
 				Workload:    w.Name(),
 				Nodes:       nodes,
@@ -85,14 +104,24 @@ type AIBalance struct {
 // speedup and unhalted-CPU-cycles rate for scale-out cluster sizes,
 // normalized to the 2x GTX 980 scale-up system.
 func Fig10(o Options) *AIBalance {
-	out := &AIBalance{}
-	for _, name := range []string{"alexnet", "googlenet"} {
+	names := []string{"alexnet", "googlenet"}
+	var scenarios []runner.Scenario
+	for _, name := range names {
 		w, _ := workloads.ByName(name)
-		gcfg := cluster.GTX980Cluster(2)
-		gcfg.FileServer = true
-		g := cluster.New(gcfg).Run(w.Body(workloads.Config{Scale: o.scale()}))
+		scenarios = append(scenarios, gtx980Scenario(w, 2, o.scale()))
 		for _, nodes := range o.sizes() {
-			r := runTX1(w, nodes, tenGig(), o.scale())
+			scenarios = append(scenarios, tx1Scenario(w, nodes, tenGig(), o.scale()))
+		}
+	}
+	res := runAll(o, scenarios)
+	out := &AIBalance{}
+	i := 0
+	for _, name := range names {
+		g := res[i]
+		i++
+		for _, nodes := range o.sizes() {
+			r := res[i]
+			i++
 			out.Rows = append(out.Rows, AIBalanceRow{
 				Workload:         name,
 				Nodes:            nodes,

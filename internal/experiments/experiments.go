@@ -13,6 +13,7 @@ import (
 
 	"clustersoc/internal/cluster"
 	"clustersoc/internal/network"
+	"clustersoc/internal/runner"
 	"clustersoc/internal/workloads"
 )
 
@@ -24,6 +25,13 @@ type Options struct {
 	Scale float64
 	// Sizes are the cluster sizes swept (paper: 2, 4, 6, 8).
 	Sizes []int
+	// Runner is the scenario run-plane the generators submit to. Sharing
+	// one Runner across generators dedupes identical simulations between
+	// artifacts (Fig. 3 and Table II re-place the Fig. 1 runs; Fig. 9
+	// re-sweeps them; Table VI re-runs the NPB set) and, with more than
+	// one worker, runs independent scenarios concurrently. Nil means a
+	// private sequential runner per generator call — the seed behaviour.
+	Runner *runner.Runner
 }
 
 // DefaultOptions returns the standard regeneration settings.
@@ -45,15 +53,34 @@ func (o Options) sizes() []int {
 	return o.Sizes
 }
 
-// runTX1 executes one workload on an n-node TX1 cluster with the given
-// NIC.
-func runTX1(w workloads.Workload, n int, prof network.Profile, scale float64) cluster.Result {
+func (o Options) runner() *runner.Runner {
+	if o.Runner != nil {
+		return o.Runner
+	}
+	return runner.New(1)
+}
+
+// runAll submits a generator's declared scenario set to the run-plane.
+// Every scenario references registry workloads, so an error is a
+// programming bug, not an input condition.
+func runAll(o Options, scenarios []runner.Scenario) []runner.Result {
+	res, err := o.runner().RunAll(scenarios)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: scenario failed: %v", err))
+	}
+	return res
+}
+
+// tx1Scenario declares the figures' standard run: one workload on an
+// n-node TX1 cluster with the given NIC (GPU codes get the file server,
+// as in the paper's testbed).
+func tx1Scenario(w workloads.Workload, n int, prof network.Profile, scale float64) runner.Scenario {
 	cfg := cluster.TX1Cluster(n, prof)
 	cfg.RanksPerNode = w.RanksPerNode()
 	if w.GPUAccelerated() {
 		cfg.FileServer = true
 	}
-	return cluster.New(cfg).Run(w.Body(workloads.Config{Scale: scale}))
+	return runner.Scenario{Cluster: cfg, Workload: w.Name(), Config: workloads.Config{Scale: scale}}
 }
 
 // allWorkloads returns the paper's Fig. 1/2 x-axis: the seven GPGPU codes

@@ -4,6 +4,7 @@ import (
 	"clustersoc/internal/cluster"
 	"clustersoc/internal/cuda"
 	"clustersoc/internal/network"
+	"clustersoc/internal/runner"
 	"clustersoc/internal/workloads"
 )
 
@@ -34,16 +35,30 @@ type MemModels struct {
 // Table3 regenerates Table III: jacobi under the three CUDA memory
 // management models on 1 node and 8 nodes, 10 GbE.
 func Table3(o Options) *MemModels {
-	out := &MemModels{}
-	for _, nodes := range []int{1, 8} {
-		var base MemModelRow
-		for _, model := range []cuda.MemModel{cuda.HostDevice, cuda.ZeroCopy, cuda.Unified} {
-			w, _ := workloads.ByName("jacobi")
+	sizes := []int{1, 8}
+	models := []cuda.MemModel{cuda.HostDevice, cuda.ZeroCopy, cuda.Unified}
+	var scenarios []runner.Scenario
+	for _, nodes := range sizes {
+		for _, model := range models {
 			cfg := cluster.TX1Cluster(nodes, network.TenGigE)
 			cfg.RanksPerNode = 1
 			cfg.MemModel = model
 			cfg.FileServer = true
-			res := cluster.New(cfg).Run(w.Body(workloads.Config{Scale: o.scale()}))
+			scenarios = append(scenarios, runner.Scenario{
+				Cluster:  cfg,
+				Workload: "jacobi",
+				Config:   workloads.Config{Scale: o.scale()},
+			})
+		}
+	}
+	results := runAll(o, scenarios)
+	out := &MemModels{}
+	i := 0
+	for _, nodes := range sizes {
+		var base MemModelRow
+		for _, model := range models {
+			res := results[i]
+			i++
 			row := MemModelRow{
 				Nodes:            nodes,
 				Model:            model,

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"clustersoc/internal/network"
+	"clustersoc/internal/runner"
 	"clustersoc/internal/units"
 	"clustersoc/internal/workloads"
 )
@@ -32,23 +33,37 @@ type NetworkChoice struct {
 	Rows []NetRow
 }
 
-// Fig1 regenerates Figures 1 and 2 (they share the runs).
+// Fig1 regenerates Figures 1 and 2 (they share the runs). The scenario
+// set — every workload at every size under both NICs — is declared up
+// front and submitted to the run-plane as one batch.
 func Fig1(o Options) *NetworkChoice {
-	out := &NetworkChoice{}
+	type key struct {
+		w workloads.Workload
+		n int
+	}
+	var keys []key
+	var scenarios []runner.Scenario
 	for _, w := range allWorkloads() {
 		for _, n := range o.sizes() {
-			r1 := runTX1(w, n, network.GigE, o.scale())
-			r10 := runTX1(w, n, network.TenGigE, o.scale())
-			out.Rows = append(out.Rows, NetRow{
-				Workload:   w.Name(),
-				GPU:        w.GPUAccelerated(),
-				Nodes:      n,
-				Runtime1G:  r1.Runtime,
-				Runtime10G: r10.Runtime,
-				Energy1G:   r1.EnergyJoules,
-				Energy10G:  r10.EnergyJoules,
-			})
+			keys = append(keys, key{w, n})
+			scenarios = append(scenarios,
+				tx1Scenario(w, n, network.GigE, o.scale()),
+				tx1Scenario(w, n, network.TenGigE, o.scale()))
 		}
+	}
+	res := runAll(o, scenarios)
+	out := &NetworkChoice{}
+	for i, k := range keys {
+		r1, r10 := res[2*i], res[2*i+1]
+		out.Rows = append(out.Rows, NetRow{
+			Workload:   k.w.Name(),
+			GPU:        k.w.GPUAccelerated(),
+			Nodes:      k.n,
+			Runtime1G:  r1.Runtime,
+			Runtime10G: r10.Runtime,
+			Energy1G:   r1.EnergyJoules,
+			Energy10G:  r10.EnergyJoules,
+		})
 	}
 	return out
 }
@@ -120,20 +135,31 @@ type Traffic struct {
 }
 
 // Fig3 regenerates the DRAM-vs-network traffic scatter (8 nodes, both
-// NICs, GPGPU workloads).
+// NICs, GPGPU workloads). Every scenario duplicates a Fig. 1 run: with a
+// shared run-plane the whole figure comes from the cache.
 func Fig3(o Options) *Traffic {
-	out := &Traffic{}
 	const nodes = 8
+	type key struct {
+		w    workloads.Workload
+		prof network.Profile
+	}
+	var keys []key
+	var scenarios []runner.Scenario
 	for _, w := range workloads.GPUWorkloads() {
 		for _, prof := range []network.Profile{network.GigE, network.TenGigE} {
-			res := runTX1(w, nodes, prof, o.scale())
-			out.Points = append(out.Points, TrafficPoint{
-				Workload: w.Name(),
-				Network:  prof.Name,
-				DRAMRate: res.DRAMTrafficRate() / nodes,
-				NetRate:  res.NetTrafficRate() / nodes,
-			})
+			keys = append(keys, key{w, prof})
+			scenarios = append(scenarios, tx1Scenario(w, nodes, prof, o.scale()))
 		}
+	}
+	res := runAll(o, scenarios)
+	out := &Traffic{}
+	for i, k := range keys {
+		out.Points = append(out.Points, TrafficPoint{
+			Workload: k.w.Name(),
+			Network:  k.prof.Name,
+			DRAMRate: res[i].DRAMTrafficRate() / nodes,
+			NetRate:  res[i].NetTrafficRate() / nodes,
+		})
 	}
 	return out
 }

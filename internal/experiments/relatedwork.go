@@ -3,6 +3,7 @@ package experiments
 import (
 	"clustersoc/internal/cluster"
 	"clustersoc/internal/network"
+	"clustersoc/internal/runner"
 	"clustersoc/internal/soc"
 	"clustersoc/internal/workloads"
 )
@@ -36,7 +37,6 @@ type RelatedWorkStudy struct {
 // problem per rank-second, which is the point: core count and per-core
 // strength trade off differently on every chip.
 func RelatedWorkCompare(o Options) *RelatedWorkStudy {
-	out := &RelatedWorkStudy{}
 	xgene := cluster.Config{
 		Name:         "X-Gene 1 server",
 		Nodes:        1,
@@ -44,11 +44,20 @@ func RelatedWorkCompare(o Options) *RelatedWorkStudy {
 		Network:      network.GigE,
 		RanksPerNode: 8,
 	}
-	for _, name := range []string{"ep", "cg", "mg", "ft"} {
+	names := []string{"ep", "cg", "mg", "ft"}
+	wcfg := workloads.Config{Scale: o.scale()}
+	var scenarios []runner.Scenario
+	for _, name := range names {
 		w, _ := workloads.ByName(name)
-		tx := runTX1(w, 8, network.GigE, o.scale())
-		cav := cluster.New(cluster.CaviumServer(32)).Run(w.Body(workloads.Config{Scale: o.scale()}))
-		xg := cluster.New(xgene).Run(w.Body(workloads.Config{Scale: o.scale()}))
+		scenarios = append(scenarios,
+			tx1Scenario(w, 8, network.GigE, o.scale()),
+			runner.Scenario{Cluster: cluster.CaviumServer(32), Workload: name, Config: wcfg},
+			runner.Scenario{Cluster: xgene, Workload: name, Config: wcfg})
+	}
+	res := runAll(o, scenarios)
+	out := &RelatedWorkStudy{}
+	for i, name := range names {
+		tx, cav, xg := res[3*i], res[3*i+1], res[3*i+2]
 		out.Rows = append(out.Rows, RelatedWorkRow{
 			Workload:      name,
 			TX1Runtime:    tx.Runtime,

@@ -5,6 +5,7 @@ import (
 
 	"clustersoc/internal/network"
 	"clustersoc/internal/roofline"
+	"clustersoc/internal/runner"
 	"clustersoc/internal/soc"
 	"clustersoc/internal/workloads"
 )
@@ -45,32 +46,45 @@ type Roofline struct {
 }
 
 // Table2 regenerates Table II and the Fig. 4 data: the extended-roofline
-// placement of every GPGPU workload at 8 nodes under both NICs.
+// placement of every GPGPU workload at 8 nodes under both NICs. The runs
+// are the same scenarios Fig. 1 and Fig. 3 submit, so a shared run-plane
+// serves the whole table from cache.
 func Table2(o Options) *Roofline {
-	out := &Roofline{Ceilings: map[string]map[string]float64{}}
 	const nodes = 8
+	type key struct {
+		w    workloads.Workload
+		prof network.Profile
+	}
+	var keys []key
+	var scenarios []runner.Scenario
 	for _, w := range workloads.GPUWorkloads() {
-		single := w.Name() == "alexnet" || w.Name() == "googlenet"
 		for _, prof := range []network.Profile{network.GigE, network.TenGigE} {
-			res := runTX1(w, nodes, prof, o.scale())
-			model := tx1RooflineModel(prof, single)
-			pt := roofline.Point{
-				Name:       w.Name(),
-				FLOPs:      res.FLOPs / nodes,
-				DRAMBytes:  res.DRAMBytes / nodes,
-				NetBytes:   res.NetBytes / nodes,
-				Throughput: res.Throughput / nodes,
-			}
-			out.Rows = append(out.Rows, RooflineRow{
-				Workload: w.Name(),
-				Network:  prof.Name,
-				Analysis: model.Analyze(pt),
-			})
-			if out.Ceilings[w.Name()] == nil {
-				out.Ceilings[w.Name()] = map[string]float64{}
-			}
-			out.Ceilings[w.Name()][prof.Name] = model.NetworkCeiling(pt.NI())
+			keys = append(keys, key{w, prof})
+			scenarios = append(scenarios, tx1Scenario(w, nodes, prof, o.scale()))
 		}
+	}
+	results := runAll(o, scenarios)
+	out := &Roofline{Ceilings: map[string]map[string]float64{}}
+	for i, k := range keys {
+		w, prof, res := k.w, k.prof, results[i]
+		single := w.Name() == "alexnet" || w.Name() == "googlenet"
+		model := tx1RooflineModel(prof, single)
+		pt := roofline.Point{
+			Name:       w.Name(),
+			FLOPs:      res.FLOPs / nodes,
+			DRAMBytes:  res.DRAMBytes / nodes,
+			NetBytes:   res.NetBytes / nodes,
+			Throughput: res.Throughput / nodes,
+		}
+		out.Rows = append(out.Rows, RooflineRow{
+			Workload: w.Name(),
+			Network:  prof.Name,
+			Analysis: model.Analyze(pt),
+		})
+		if out.Ceilings[w.Name()] == nil {
+			out.Ceilings[w.Name()] = map[string]float64{}
+		}
+		out.Ceilings[w.Name()][prof.Name] = model.NetworkCeiling(pt.NI())
 	}
 	m1 := tx1RooflineModel(network.GigE, false)
 	m10 := tx1RooflineModel(network.TenGigE, false)

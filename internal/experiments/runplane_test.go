@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"clustersoc/internal/runner"
+)
+
+// TestSharedRunnerDedupesAcrossGenerators drives several generators
+// through one parallel run-plane — the cmd/experiments configuration —
+// and checks both halves of the contract: artifacts are identical to the
+// sequential per-generator runs, and scenarios shared between artifacts
+// (the Fig. 1 TenGigE runs reappear in Fig. 3 and Table II) simulate
+// only once.
+func TestSharedRunnerDedupesAcrossGenerators(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several full generators")
+	}
+	seqOpts := testOptions()
+	wantFig1 := Fig1(seqOpts)
+	wantFig3 := Fig3(seqOpts)
+	wantTab2 := Table2(seqOpts)
+
+	shared := testOptions()
+	shared.Runner = runner.New(4)
+	gotFig1 := Fig1(shared)
+	gotFig3 := Fig3(shared)
+	gotTab2 := Table2(shared)
+
+	if !reflect.DeepEqual(gotFig1, wantFig1) {
+		t.Error("Fig1 under the shared parallel runner differs from the sequential run")
+	}
+	if !reflect.DeepEqual(gotFig3, wantFig3) {
+		t.Error("Fig3 under the shared parallel runner differs from the sequential run")
+	}
+	if !reflect.DeepEqual(gotTab2, wantTab2) {
+		t.Error("Table2 under the shared parallel runner differs from the sequential run")
+	}
+
+	st := shared.Runner.Stats()
+	if st.Hits == 0 {
+		t.Error("expected cache hits: Fig. 3 and Table II reuse the Fig. 1 scenarios")
+	}
+	if st.Submitted != st.Hits+st.Simulated {
+		t.Errorf("stats don't balance: %+v", st)
+	}
+	// Fig. 3 and Table II each re-submit the full 14-scenario set at 8
+	// nodes, and all 14 are already simulated for Fig. 1.
+	if st.Hits < 28 {
+		t.Errorf("only %d hits; Fig. 3 + Table II alone should contribute 28", st.Hits)
+	}
+}
+
+// TestOptionsDefaultRunnerIsSequential pins the zero-value behaviour:
+// generators called without a Runner run exactly as the seed did.
+func TestOptionsDefaultRunnerIsSequential(t *testing.T) {
+	o := testOptions()
+	if o.Runner != nil {
+		t.Fatal("testOptions must not pre-wire a runner")
+	}
+	r := o.runner()
+	if r.Workers() != 1 {
+		t.Errorf("default run-plane has %d workers, want 1", r.Workers())
+	}
+}

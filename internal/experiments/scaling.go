@@ -1,9 +1,9 @@
 package experiments
 
 import (
-	"clustersoc/internal/cluster"
 	"clustersoc/internal/dimemas"
 	"clustersoc/internal/network"
+	"clustersoc/internal/runner"
 	"clustersoc/internal/stats"
 	"clustersoc/internal/workloads"
 )
@@ -56,23 +56,29 @@ type Scaling struct {
 	ExtrapolateTo int
 }
 
-// scalingFor runs the study for a set of workloads.
+// scalingFor runs the study for a set of workloads. Per workload and
+// size it needs two runs: the 1 GbE measurement (the Fig. 1 scenarios at
+// the shared sweep sizes) and a traced 10 GbE run feeding the
+// DIMEMAS-style replays.
 func scalingFor(ws []workloads.Workload, o Options) *Scaling {
 	sizes := append([]int{1}, o.sizes()...)
+	var scenarios []runner.Scenario
+	for _, w := range ws {
+		for _, n := range sizes {
+			traced := tx1Scenario(w, n, network.TenGigE, o.scale())
+			traced.Cluster.Traced = true
+			scenarios = append(scenarios, tx1Scenario(w, n, network.GigE, o.scale()), traced)
+		}
+	}
+	res := runAll(o, scenarios)
 	out := &Scaling{ExtrapolateTo: 64}
+	i := 0
 	for _, w := range ws {
 		c := &ScalingCurve{Workload: w.Name(), Nodes: sizes}
-		for _, n := range sizes {
-			r1 := runTX1(w, n, network.GigE, o.scale())
+		for range sizes {
+			r1, r10 := res[i], res[i+1]
+			i += 2
 			c.Runtime1G = append(c.Runtime1G, r1.Runtime)
-
-			cfg := cluster.TX1Cluster(n, network.TenGigE)
-			cfg.RanksPerNode = w.RanksPerNode()
-			cfg.Traced = true
-			if w.GPUAccelerated() {
-				cfg.FileServer = true
-			}
-			r10 := cluster.New(cfg).Run(w.Body(workloads.Config{Scale: o.scale()}))
 			c.Runtime10G = append(c.Runtime10G, r10.Runtime)
 
 			tr := r10.Trace

@@ -3,6 +3,7 @@ package experiments
 import (
 	"clustersoc/internal/cluster"
 	"clustersoc/internal/network"
+	"clustersoc/internal/runner"
 	"clustersoc/internal/workloads"
 )
 
@@ -30,13 +31,22 @@ type WeakScalingStudy struct {
 
 // WeakScaling runs hpl with the problem growing alongside the cluster.
 func WeakScaling(o Options) *WeakScalingStudy {
-	out := &WeakScalingStudy{}
-	h := workloads.NewHPL()
-	for _, nodes := range append([]int{1}, o.sizes()...) {
+	sizes := append([]int{1}, o.sizes()...)
+	var scenarios []runner.Scenario
+	for _, nodes := range sizes {
 		cfg := cluster.TX1Cluster(nodes, network.TenGigE)
 		cfg.RanksPerNode = 1
 		cfg.FileServer = true
-		res := cluster.New(cfg).Run(h.Body(workloads.Config{Scale: o.scale(), WeakScaling: true}))
+		scenarios = append(scenarios, runner.Scenario{
+			Cluster:  cfg,
+			Workload: "hpl",
+			Config:   workloads.Config{Scale: o.scale(), WeakScaling: true},
+		})
+	}
+	results := runAll(o, scenarios)
+	out := &WeakScalingStudy{}
+	for i, nodes := range sizes {
+		res := results[i]
 		out.Rows = append(out.Rows, WeakScalingRow{
 			Nodes:            nodes,
 			Runtime:          res.Runtime,

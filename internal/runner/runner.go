@@ -1,0 +1,209 @@
+// Package runner is the deterministic parallel run-plane: it executes
+// independent scenario simulations on a bounded worker pool and memoizes
+// results by scenario fingerprint, so a batch of experiment generators
+// sharing one Runner simulates every distinct scenario exactly once.
+//
+// The simulator itself (internal/sim and everything built on it) is
+// single-threaded and deterministic; a Scenario's result depends only on
+// the Scenario. That makes independent simulations embarrassingly
+// parallel: the Runner exploits it without changing any result —
+// parallel and sequential execution produce bit-identical
+// cluster.Result values, and RunAll returns results in submission order
+// regardless of completion order. Both properties are locked in by the
+// determinism tests in this package and the -race CI job.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"clustersoc/internal/cluster"
+	"clustersoc/internal/workloads"
+)
+
+// Job names one co-scheduled workload: the Table IV collocation runs the
+// GPU hpl and the CPU hpl side by side on the same nodes, NICs, and DRAM.
+type Job struct {
+	// Workload is a registry name (workloads.ByName).
+	Workload string
+	// RanksPerNode is the job's own process density on the scenario's
+	// nodes (cluster.SpawnWith).
+	RanksPerNode int
+	Config       workloads.Config
+}
+
+// Scenario is one independent simulation: a workload (by registry name)
+// on a fully specified system. Identical scenarios — same fingerprint —
+// produce identical results, so the Runner simulates each fingerprint at
+// most once per cache lifetime.
+type Scenario struct {
+	Cluster  cluster.Config
+	Workload string
+	Config   workloads.Config
+	// Colocated co-schedules further jobs on the same cluster instance
+	// (sharing its nodes, network, and DRAM), as the Table IV
+	// CPU+GPU collocation experiment does. Usually empty.
+	Colocated []Job
+}
+
+// Fingerprint returns the canonical cache key: the cluster fingerprint,
+// the workload name, the canonical workload-config key, and any
+// co-scheduled jobs.
+func (s Scenario) Fingerprint() string {
+	var b strings.Builder
+	b.WriteString(s.Cluster.Fingerprint())
+	b.WriteString("|w=")
+	b.WriteString(s.Workload)
+	b.WriteString("|")
+	b.WriteString(s.Config.Key())
+	for _, j := range s.Colocated {
+		fmt.Fprintf(&b, "|co=%s/%d/%s", j.Workload, j.RanksPerNode, j.Config.Key())
+	}
+	return b.String()
+}
+
+// Result is a scenario's measurements. Cached results are shared between
+// duplicate submissions — treat them (including the PerNode slice and
+// the Trace) as immutable.
+type Result struct {
+	cluster.Result
+	// JobThroughputs holds each job's own FLOP/s — the primary workload
+	// first, then the Colocated jobs in declaration order. The combined
+	// throughput of a collocation run is their sum, the way the paper
+	// tallies its simultaneous hpl runs.
+	JobThroughputs []float64
+}
+
+// Stats is the run-plane's accounting, reported by the CLIs.
+type Stats struct {
+	// Submitted counts scenarios handed to Run/RunAll.
+	Submitted int
+	// Hits counts submissions served from the cache — duplicate
+	// simulations avoided, including joins on a run already in flight.
+	Hits int
+	// Simulated counts distinct scenarios actually executed.
+	Simulated int
+}
+
+// entry is one memoized scenario. The first submitter executes and
+// closes done; later submitters of the same fingerprint block on done
+// and share the result.
+type entry struct {
+	done chan struct{}
+	res  Result
+	err  error
+}
+
+// Runner is a concurrent, memoizing scenario executor. It is safe for
+// use from multiple goroutines.
+type Runner struct {
+	workers int
+	sem     chan struct{}
+	// exec runs one scenario; tests substitute it to control timing.
+	exec func(Scenario) (Result, error)
+
+	mu    sync.Mutex
+	cache map[string]*entry
+	stats Stats
+}
+
+// New returns a Runner executing at most workers simulations
+// concurrently. workers <= 0 means GOMAXPROCS; workers == 1 is the
+// sequential run-plane (still memoizing).
+func New(workers int) *Runner {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{
+		workers: workers,
+		sem:     make(chan struct{}, workers),
+		exec:    Execute,
+		cache:   map[string]*entry{},
+	}
+}
+
+// Workers returns the worker-pool bound.
+func (r *Runner) Workers() int { return r.workers }
+
+// Stats returns a snapshot of the cache accounting.
+func (r *Runner) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// Run executes one scenario (or joins an identical run already cached or
+// in flight) and returns its measurements.
+func (r *Runner) Run(s Scenario) (Result, error) {
+	fp := s.Fingerprint()
+	r.mu.Lock()
+	r.stats.Submitted++
+	if e, ok := r.cache[fp]; ok {
+		r.stats.Hits++
+		r.mu.Unlock()
+		<-e.done
+		return e.res, e.err
+	}
+	e := &entry{done: make(chan struct{})}
+	r.cache[fp] = e
+	r.stats.Simulated++
+	r.mu.Unlock()
+
+	r.sem <- struct{}{} // acquire a worker slot
+	e.res, e.err = r.exec(s)
+	<-r.sem
+	close(e.done)
+	return e.res, e.err
+}
+
+// RunAll executes a batch. Distinct scenarios run concurrently up to the
+// worker bound; duplicates (within the batch or against earlier runs)
+// simulate once. Results are returned in submission order regardless of
+// completion order. The returned error is the first failing scenario's,
+// in submission order; results of successful scenarios are valid either
+// way.
+func (r *Runner) RunAll(scenarios []Scenario) ([]Result, error) {
+	results := make([]Result, len(scenarios))
+	errs := make([]error, len(scenarios))
+	var wg sync.WaitGroup
+	for i := range scenarios {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = r.Run(scenarios[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// Execute runs one scenario directly — no cache, no pool. It is the
+// Runner's executor and the reference implementation the determinism
+// tests compare against.
+func Execute(s Scenario) (Result, error) {
+	w, err := workloads.ByName(s.Workload)
+	if err != nil {
+		return Result{}, err
+	}
+	cl := cluster.New(s.Cluster)
+	jobs := []*cluster.Job{cl.Spawn(w.Body(s.Config))}
+	for _, j := range s.Colocated {
+		wj, err := workloads.ByName(j.Workload)
+		if err != nil {
+			return Result{}, err
+		}
+		jobs = append(jobs, cl.SpawnWith(j.RanksPerNode, wj.Body(j.Config)))
+	}
+	res := Result{Result: cl.Finish()}
+	for _, j := range jobs {
+		res.JobThroughputs = append(res.JobThroughputs, j.Throughput())
+	}
+	return res, nil
+}

@@ -86,10 +86,7 @@ func (h *HPL) weakN(base, ranks int) int {
 // Body returns the GPU-accelerated per-rank program.
 func (h *HPL) Body(cfg Config) func(*cluster.Context) {
 	baseN := h.scaledN(cfg)
-	ratio := cfg.GPUWorkRatio
-	if ratio <= 0 || ratio > 1 {
-		ratio = 1
-	}
+	ratio := cfg.workRatio()
 	return func(ctx *cluster.Context) {
 		p, rank := ctx.Size(), ctx.Rank
 		n := baseN

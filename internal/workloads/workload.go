@@ -40,6 +40,25 @@ func (c Config) scale() float64 {
 	return c.Scale
 }
 
+// workRatio normalizes GPUWorkRatio: zero (or out-of-range) means the
+// all-GPU split, exactly as the workload bodies interpret it.
+func (c Config) workRatio() float64 {
+	if c.GPUWorkRatio <= 0 || c.GPUWorkRatio > 1 {
+		return 1
+	}
+	return c.GPUWorkRatio
+}
+
+// Key returns the canonical fingerprint of a workload configuration:
+// two Configs that produce identical runs produce identical keys, with
+// unset fields folded onto their effective defaults (Scale 0 == 1,
+// GPUWorkRatio 0 == 1). The run-plane in internal/runner keys its
+// result cache on it.
+func (c Config) Key() string {
+	return fmt.Sprintf("scale=%g;ratio=%g;fp16=%t;weak=%t",
+		c.scale(), c.workRatio(), c.HalfPrecision, c.WeakScaling)
+}
+
 // scaledIters shrinks an iteration count, keeping at least min.
 func (c Config) scaledIters(full, min int) int {
 	n := int(float64(full) * c.scale())

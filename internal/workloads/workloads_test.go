@@ -205,3 +205,22 @@ func TestGPUDirectOption(t *testing.T) {
 		t.Fatalf("GPUDirect did not remove staging copies: %v vs %v", dres.GPU.CopyBytes, staged.GPU.CopyBytes)
 	}
 }
+
+func TestConfigKeyCanonicalizesDefaults(t *testing.T) {
+	if (Config{}).Key() != (Config{Scale: 1, GPUWorkRatio: 1}).Key() {
+		t.Error("zero config and explicit defaults must share a key")
+	}
+	distinct := []Config{
+		{Scale: 0.5},
+		{Scale: 0.5, GPUWorkRatio: 0.7},
+		{Scale: 0.5, HalfPrecision: true},
+		{Scale: 0.5, WeakScaling: true},
+	}
+	seen := map[string]bool{(Config{}).Key(): true}
+	for i, c := range distinct {
+		if seen[c.Key()] {
+			t.Errorf("config %d collides with an earlier key", i)
+		}
+		seen[c.Key()] = true
+	}
+}
