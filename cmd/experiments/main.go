@@ -21,9 +21,10 @@ import (
 	"os"
 	"sort"
 	"strings"
-	"time"
 
 	"clustersoc/internal/experiments"
+	"clustersoc/internal/network"
+	"clustersoc/internal/obs"
 	"clustersoc/internal/plot"
 	"clustersoc/internal/runner"
 )
@@ -41,13 +42,15 @@ func main() {
 		only     = flag.String("only", "", "comma-separated subset: "+strings.Join(artifactKeys, ","))
 		jsonPath = flag.String("json", "", "also write every generated artifact as JSON to this file")
 		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = sequential)")
+		profile  = flag.Bool("profile", false, "collect per-scenario observability profiles: writes a *.profile.json sidecar and a merged metrics summary on stderr")
+		traceOut = flag.String("trace-out", "", "write a Chrome/Perfetto trace of a representative run (hpl @ 8 nodes, 10GbE) to this file")
 	)
 	flag.Parse()
 
 	o := experiments.DefaultOptions()
 	o.Scale = *scale
 	o.Runner = runner.New(*parallel)
-	start := time.Now()
+	o.Runner.SetProfiling(*profile)
 
 	known := map[string]bool{}
 	for _, k := range artifactKeys {
@@ -254,10 +257,86 @@ func main() {
 		}
 		fmt.Printf("\nwrote %d artifacts to %s\n", len(artifacts), *jsonPath)
 	}
+	// The traced run goes first so its profile (when -profile is on)
+	// lands in the sidecar with the rest.
+	if *traceOut != "" {
+		writeChromeTrace(o, *traceOut)
+	}
+	if *profile {
+		writeProfileSidecar(o, *jsonPath)
+	}
 
 	st := o.Runner.Stats()
-	fmt.Fprintf(os.Stderr, "run-plane: %d scenarios submitted, %d simulated, %d duplicates served from cache (%d workers, %.1fs wall)\n",
-		st.Submitted, st.Simulated, st.Hits, o.Runner.Workers(), time.Since(start).Seconds())
+	fmt.Fprintf(os.Stderr, "run-plane: %d scenarios submitted, %d simulated, %d duplicates served from cache (%d workers, peak %d in flight, %.1fs simulation wall)\n",
+		st.Submitted, st.Simulated, st.Hits, o.Runner.Workers(), st.MaxInFlight, st.WallSeconds)
+}
+
+// writeProfileSidecar writes the run-plane's collected profiles next to
+// the artifact JSON (or to experiments.profile.json without -json) and
+// renders the merged simulated metrics on stderr.
+func writeProfileSidecar(o experiments.Options, jsonPath string) {
+	sidecar := "experiments.profile.json"
+	if jsonPath != "" {
+		sidecar = strings.TrimSuffix(jsonPath, ".json") + ".profile.json"
+	}
+	profs := o.Runner.Profiles()
+	f, err := os.Create(sidecar)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := obs.WriteProfiles(f, profs); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nwrote %d profiles to %s\n", len(profs), sidecar)
+
+	snaps := make([]obs.Snapshot, 0, len(profs))
+	for _, p := range profs {
+		snaps = append(snaps, p.Sim)
+	}
+	fmt.Fprintf(os.Stderr, "merged simulated metrics across %d profiled scenarios:\n", len(profs))
+	fmt.Fprint(os.Stderr, obs.Merge(snaps...).Render())
+}
+
+// writeChromeTrace simulates the representative traced scenario (hpl on
+// the paper's 8-node 10 GbE cluster) and exports it for chrome://tracing
+// or ui.perfetto.dev.
+func writeChromeTrace(o experiments.Options, path string) {
+	sc, err := experiments.TracedScenario(o, "hpl", 8, network.TenGigE)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	res, err := o.Runner.Run(sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var snap obs.Snapshot
+	if res.Profile != nil {
+		snap = res.Profile.Sim
+	} else {
+		snap = obs.TraceSnapshot(res.Trace)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := obs.WriteChromeTrace(f, res.Trace, snap); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nwrote Chrome trace of %s to %s (open in chrome://tracing or ui.perfetto.dev)\n", sc.Cluster.Name, path)
 }
 
 // writeArtifacts emits the artifact map with keys in sorted order, one

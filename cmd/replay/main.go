@@ -16,6 +16,7 @@ import (
 
 	"clustersoc/internal/dimemas"
 	"clustersoc/internal/network"
+	"clustersoc/internal/obs"
 	"clustersoc/internal/trace"
 	"clustersoc/internal/units"
 )
@@ -29,6 +30,8 @@ func main() {
 		idealLB  = flag.Bool("ideal-lb", false, "rescale each phase's compute to the mean (LB = 1)")
 		buses    = flag.Int("buses", 0, "DIMEMAS bus-contention limit (0 = contention-free model)")
 		timeline = flag.Bool("timeline", false, "render a PARAVER-style per-rank activity view of the measured run")
+		profile  = flag.Bool("profile", false, "render the trace's observability metrics (ops, compute/copy/comm-wait time, message sizes)")
+		traceOut = flag.String("trace-out", "", "export the measured trace as Chrome/Perfetto trace-event JSON to this file")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -85,5 +88,25 @@ func main() {
 	if *timeline {
 		fmt.Println()
 		fmt.Print(t.Timeline(72))
+	}
+	if *profile {
+		fmt.Println()
+		fmt.Print(obs.TraceSnapshot(t).Render())
+	}
+	if *traceOut != "" {
+		out, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "replay:", err)
+			os.Exit(1)
+		}
+		if err := obs.WriteChromeTrace(out, t, obs.TraceSnapshot(t)); err != nil {
+			fmt.Fprintln(os.Stderr, "replay:", err)
+			os.Exit(1)
+		}
+		if err := out.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "replay:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote Chrome trace to %s (open in chrome://tracing or ui.perfetto.dev)\n", *traceOut)
 	}
 }

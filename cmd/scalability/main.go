@@ -11,7 +11,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"time"
 
 	"clustersoc/internal/core"
 )
@@ -31,7 +30,6 @@ func main() {
 		net = core.GigE
 	}
 	sizes := []int{1, 2, 4, 6, 8}
-	start := time.Now()
 	session := core.NewSession(*parallel)
 	res, err := session.Scalability(core.TX1(8, net), *workload, sizes, *scale)
 	if err != nil {
@@ -39,8 +37,8 @@ func main() {
 		os.Exit(1)
 	}
 	st := session.Stats()
-	fmt.Fprintf(os.Stderr, "run-plane: %d scenarios submitted, %d simulated, %d duplicates served from cache (%d workers, %.1fs wall)\n",
-		st.Submitted, st.Simulated, st.Hits, session.Runner().Workers(), time.Since(start).Seconds())
+	fmt.Fprintf(os.Stderr, "run-plane: %d scenarios submitted, %d simulated, %d duplicates served from cache (%d workers, peak %d in flight, %.1fs simulation wall)\n",
+		st.Submitted, st.Simulated, st.Hits, session.Runner().Workers(), st.MaxInFlight, st.WallSeconds)
 
 	fmt.Printf("strong scaling of %s on the TX1 cluster (%s)\n\n", *workload, *netArg)
 	fmt.Println("  nodes   runtime(s)   speedup")

@@ -13,6 +13,7 @@ import (
 	"clustersoc/internal/cuda"
 	"clustersoc/internal/mpi"
 	"clustersoc/internal/network"
+	"clustersoc/internal/obs"
 	"clustersoc/internal/perf"
 	"clustersoc/internal/power"
 	"clustersoc/internal/sim"
@@ -105,7 +106,8 @@ type Node struct {
 	PMU   perf.PMU
 	Meter power.Meter
 
-	cpuBusy float64 // core-seconds
+	cpuBusy     float64 // core-seconds
+	cpuMemStall float64 // core-seconds stalled on L2 misses (soc cost model)
 }
 
 // Cluster is an assembled system ready to run workload bodies.
@@ -119,6 +121,9 @@ type Cluster struct {
 
 	ranksPerNode int
 	flops        float64 // useful FLOPs accumulated by contexts
+
+	reg   *obs.Registry  // nil unless Instrument attached observability
+	procs []*sim.Process // spawned rank processes, in spawn order
 }
 
 // New assembles a cluster from a config.
@@ -176,6 +181,24 @@ func New(cfg Config) *Cluster {
 // Ranks returns the total MPI rank count.
 func (cl *Cluster) Ranks() int { return cl.Cfg.Nodes * cl.ranksPerNode }
 
+// Instrument attaches an observability registry to the cluster: live
+// metrics (the network's message-size histogram) start recording, and
+// Finish publishes the full simulated snapshot — engine diagnostics,
+// per-port network accounting, per-node DRAM-arbitration stall and
+// CPU/GPU busy time, per-rank blocked time, PMU counters, and GPU
+// metrics. Instrument must be called before Spawn/Run.
+//
+// Instrument(nil) is a no-op. Instrumentation never alters the
+// simulation: a run with and without a registry produces identical
+// Result values, a property locked in by the runner determinism tests.
+func (cl *Cluster) Instrument(reg *obs.Registry) {
+	cl.reg = reg
+	if reg == nil {
+		return
+	}
+	cl.Net.Instrument(reg.Scope("network"))
+}
+
 // Job tracks one spawned workload's own completion and FLOP tally, so
 // co-scheduled workloads (the Table IV collocation) can report individual
 // throughputs the way the paper's simultaneous hpl runs do.
@@ -225,13 +248,14 @@ func (cl *Cluster) spawnOn(comm *mpi.Comm, ranksPerNode int, body func(ctx *Cont
 	for r := 0; r < comm.Size(); r++ {
 		r := r
 		ctx := &Context{cl: cl, Rank: r, node: cl.Nodes[r/ranksPerNode], comm: comm, job: job}
-		cl.Eng.Spawn(fmt.Sprintf("rank%d", r), func(p *sim.Process) {
+		p := cl.Eng.Spawn(fmt.Sprintf("rank%d", r), func(p *sim.Process) {
 			ctx.P = p
 			body(ctx)
 			if p.Now() > job.Finish {
 				job.Finish = p.Now()
 			}
 		})
+		cl.procs = append(cl.procs, p)
 	}
 	return job
 }
@@ -282,7 +306,54 @@ func (cl *Cluster) Finish() Result {
 		cl.Tracer.Finish(runtime)
 		res.Trace = &cl.Tracer.T
 	}
+	if cl.reg != nil {
+		cl.publishMetrics(&res, runtime)
+	}
 	return res
+}
+
+// publishMetrics exports the run's simulated accounting into the
+// attached registry. Everything published here derives from simulated
+// quantities only — no wall clock — and iterates nodes, ranks, and ports
+// in index order, so profiling the same scenario twice produces
+// byte-identical snapshots.
+func (cl *Cluster) publishMetrics(res *Result, runtime float64) {
+	cl.Eng.PublishMetrics(cl.reg.Scope("sim"))
+	cl.Net.PublishMetrics(cl.reg.Scope("network"))
+
+	cs := cl.reg.Scope("cluster")
+	cs.Gauge("runtime_s").Set(runtime)
+	cs.Counter("flops").Add(res.FLOPs)
+	cs.Counter("energy_j").Add(res.EnergyJoules)
+	cs.Counter("net_bytes").Add(res.NetBytes)
+	cs.Counter("dram_bytes").Add(res.DRAMBytes)
+	cs.Counter("cpu_busy_s").Add(res.CPUBusySeconds)
+	cs.Counter("gpu_busy_s").Add(res.GPUBusySeconds)
+	if runtime > 0 {
+		// The paper's CPU/GPU overlap question in two numbers: busy
+		// fraction of all CPU cores vs all GPU SM time over the run.
+		totalCores := float64(cl.Cfg.Nodes * cl.Cfg.NodeType.CPU.Cores)
+		cs.Gauge("cpu_busy_frac").Set(res.CPUBusySeconds / (runtime * totalCores))
+		if cl.Cfg.NodeType.GPU != nil {
+			cs.Gauge("gpu_busy_frac").Set(res.GPUBusySeconds / (runtime * float64(cl.Cfg.Nodes)))
+		}
+	}
+
+	for _, n := range cl.Nodes {
+		ns := cs.Scope(fmt.Sprintf("node%d", n.Index))
+		ns.Counter("dram_bytes").Add(n.DRAM.Bytes())
+		ns.Counter("dram_stall_s").Add(n.DRAM.QueueWait())
+		ns.Counter("cpu_busy_s").Add(n.cpuBusy)
+		ns.Counter("cpu_mem_stall_s").Add(n.cpuMemStall)
+		if n.GPU != nil {
+			ns.Counter("gpu_busy_s").Add(n.GPU.SMBusySeconds())
+		}
+	}
+	for _, p := range cl.procs {
+		cs.Scope("rank").Counter(p.Name() + "_blocked_s").Add(p.BlockedSeconds())
+	}
+	res.PMU.Publish(cl.reg.Scope("pmu"))
+	res.GPU.Publish(cl.reg.Scope("gpu"))
 }
 
 // Result is one simulated run's measurements.

@@ -68,6 +68,7 @@ func (ctx *Context) ComputeParallel(w soc.CPUWork, cores int) {
 	ctx.P.Sleep(dur)
 	ctx.node.PMU.Add(r.PMU)
 	ctx.node.cpuBusy += r.Seconds
+	ctx.node.cpuMemStall += r.MemStallSeconds
 	ctx.node.Meter.AddDRAM(r.DRAMBytes)
 	ctx.creditFlops(w.Flops)
 	if ctx.cl.Tracer != nil {

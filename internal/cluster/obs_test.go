@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"clustersoc/internal/network"
+	"clustersoc/internal/obs"
+	"clustersoc/internal/soc"
+	"clustersoc/internal/units"
+)
+
+// obsBody is a small workload body exercising CPU compute, DRAM traffic,
+// and MPI communication — enough to touch every publish path.
+func obsBody(ctx *Context) {
+	w := soc.CPUWork{Instr: 1e8, Flops: 2e7, Branches: 1e6, BranchEntropy: 0.3,
+		MemAccesses: 2e7, L1MissRate: 0.05, WorkingSet: 4 * units.MB, Bytes: 1e7}
+	ctx.Compute(w)
+	ctx.Allreduce(256 * units.KB)
+	ctx.Compute(w)
+	ctx.Barrier()
+}
+
+// TestInstrumentationDoesNotChangeClusterResult locks in the tentpole
+// guarantee at the cluster layer: a run with an attached registry
+// produces a Result byte-identical to an uninstrumented run.
+func TestInstrumentationDoesNotChangeClusterResult(t *testing.T) {
+	cfg := TX1Cluster(2, network.GigE)
+	cfg.RanksPerNode = 2
+
+	plainCl := New(cfg)
+	plainCl.Instrument(nil) // explicit no-op
+	plain := plainCl.Run(obsBody)
+
+	reg := obs.NewRegistry()
+	instrCl := New(cfg)
+	instrCl.Instrument(reg)
+	instr := instrCl.Run(obsBody)
+
+	if !reflect.DeepEqual(plain, instr) {
+		t.Fatalf("Result differs with instrumentation attached")
+	}
+	pb, _ := json.Marshal(plain)
+	ib, _ := json.Marshal(instr)
+	if string(pb) != string(ib) {
+		t.Fatalf("Result JSON differs with instrumentation attached")
+	}
+}
+
+func TestPublishedClusterMetrics(t *testing.T) {
+	cfg := TX1Cluster(2, network.TenGigE)
+	cfg.RanksPerNode = 1
+	reg := obs.NewRegistry()
+	cl := New(cfg)
+	cl.Instrument(reg)
+	res := cl.Run(obsBody)
+	snap := reg.Snapshot()
+
+	if got := snap.Value("cluster.runtime_s"); got != res.Runtime {
+		t.Fatalf("cluster.runtime_s = %g, want %g", got, res.Runtime)
+	}
+	if got := snap.Value("cluster.flops"); got != res.FLOPs {
+		t.Fatalf("cluster.flops = %g, want %g", got, res.FLOPs)
+	}
+	if got := snap.Value("sim.events"); got <= 0 {
+		t.Fatalf("sim.events = %g, want > 0", got)
+	}
+	if got := snap.Value("network.messages"); got <= 0 {
+		t.Fatalf("network.messages = %g, want > 0", got)
+	}
+	// Per-node breakdown in index order.
+	for _, name := range []string{
+		"cluster.node0.cpu_busy_s", "cluster.node1.cpu_busy_s",
+		"cluster.node0.cpu_mem_stall_s", "cluster.node0.dram_bytes",
+	} {
+		if got := snap.Value(name); got <= 0 {
+			t.Errorf("%s = %g, want > 0", name, got)
+		}
+	}
+	// Per-rank blocked time publishes for every spawned rank (the value
+	// may be zero here: eager sends mean a recv that finds its message
+	// already posted just sleeps until arrival).
+	for _, name := range []string{"cluster.rank.rank0_blocked_s", "cluster.rank.rank1_blocked_s"} {
+		if _, ok := snap.Get(name); !ok {
+			t.Errorf("%s missing from snapshot", name)
+		}
+	}
+	// PMU counters fold in under their perf names.
+	if got := snap.Value("pmu.INST_RETIRED"); got != res.PMU.InstRetired {
+		t.Errorf("pmu.INST_RETIRED = %g, want %g", got, res.PMU.InstRetired)
+	}
+	// Busy fractions are fractions.
+	if f := snap.Value("cluster.cpu_busy_frac"); f <= 0 || f > 1 {
+		t.Errorf("cluster.cpu_busy_frac = %g, want in (0, 1]", f)
+	}
+}
+
+// TestBlockedTimePublished: a receiver that posts before its sender has
+// sent suspends, and the wait surfaces as per-rank blocked seconds.
+func TestBlockedTimePublished(t *testing.T) {
+	cfg := TX1Cluster(2, network.GigE)
+	cfg.RanksPerNode = 1
+	reg := obs.NewRegistry()
+	cl := New(cfg)
+	cl.Instrument(reg)
+	cl.Run(func(ctx *Context) {
+		if ctx.Rank == 0 {
+			ctx.Compute(soc.CPUWork{Instr: 1e9, MemAccesses: 1e8, L1MissRate: 0.02, WorkingSet: 1e5})
+			ctx.Send(1, 0, 1*units.MB)
+		} else {
+			ctx.Recv(0, 0) // posted at t=0, long before the send
+		}
+	})
+	snap := reg.Snapshot()
+	if got := snap.Value("cluster.rank.rank1_blocked_s"); got <= 0 {
+		t.Fatalf("cluster.rank.rank1_blocked_s = %g, want > 0", got)
+	}
+	if got := snap.Value("sim.blocked_s"); got <= 0 {
+		t.Fatalf("sim.blocked_s = %g, want > 0", got)
+	}
+}
+
+// TestInstrumentedRunSnapshotDeterministic: instrumenting the same
+// configuration twice yields byte-identical snapshots.
+func TestInstrumentedRunSnapshotDeterministic(t *testing.T) {
+	run := func() []byte {
+		cfg := TX1Cluster(2, network.GigE)
+		cfg.RanksPerNode = 2
+		reg := obs.NewRegistry()
+		cl := New(cfg)
+		cl.Instrument(reg)
+		cl.Run(obsBody)
+		b, err := json.Marshal(reg.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := run(), run()
+	if string(a) != string(b) {
+		t.Fatalf("snapshots of identical runs differ")
+	}
+}

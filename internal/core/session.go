@@ -6,6 +6,7 @@ import (
 	"clustersoc/internal/cluster"
 	"clustersoc/internal/dimemas"
 	"clustersoc/internal/network"
+	"clustersoc/internal/obs"
 	"clustersoc/internal/runner"
 	"clustersoc/internal/stats"
 	"clustersoc/internal/workloads"
@@ -37,6 +38,14 @@ func (s *Session) Runner() *runner.Runner { return s.r }
 
 // Stats reports the session's cache accounting.
 func (s *Session) Stats() runner.Stats { return s.r.Stats() }
+
+// SetProfiling toggles per-scenario observability profiles on the
+// session's run-plane (see runner.Runner.SetProfiling).
+func (s *Session) SetProfiling(on bool) { s.r.SetProfiling(on) }
+
+// Profiles returns the profiles collected so far, sorted by scenario
+// fingerprint.
+func (s *Session) Profiles() []*obs.Profile { return s.r.Profiles() }
 
 // scenario validates and normalizes a run request the way core.Run does.
 func scenario(cfg cluster.Config, workload string, wcfg workloads.Config) (runner.Scenario, error) {

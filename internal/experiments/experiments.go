@@ -83,6 +83,20 @@ func tx1Scenario(w workloads.Workload, n int, prof network.Profile, scale float6
 	return runner.Scenario{Cluster: cfg, Workload: w.Name(), Config: workloads.Config{Scale: scale}}
 }
 
+// TracedScenario declares a workload's standard TX1 run with trace
+// recording enabled — the scenario behind cmd/experiments -trace-out.
+// Traced participates in the cluster fingerprint, so it never collides
+// with the figures' untraced runs in the run-plane cache.
+func TracedScenario(o Options, workload string, nodes int, prof network.Profile) (runner.Scenario, error) {
+	w, err := workloads.ByName(workload)
+	if err != nil {
+		return runner.Scenario{}, err
+	}
+	s := tx1Scenario(w, nodes, prof, o.scale())
+	s.Cluster.Traced = true
+	return s, nil
+}
+
 // allWorkloads returns the paper's Fig. 1/2 x-axis: the seven GPGPU codes
 // followed by the NPB suite.
 func allWorkloads() []workloads.Workload {

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 
+	"clustersoc/internal/obs"
 	"clustersoc/internal/sim"
 	"clustersoc/internal/units"
 )
@@ -52,9 +53,10 @@ var (
 
 // port is one direction of a NIC: a FIFO bandwidth server.
 type port struct {
-	free  float64
-	bytes float64
-	busy  float64
+	free      float64
+	bytes     float64
+	busy      float64
+	queuedMax float64 // high-water mark of bytes pending behind the port (instrumented runs only)
 }
 
 // Network is the interconnect for a set of nodes.
@@ -67,6 +69,12 @@ type Network struct {
 	memLat  float64
 	fabric  float64 // total bytes through the switch, for statistics
 	packets uint64
+
+	// sizeHist, when attached via Instrument, observes every message's
+	// size. It doubles as the instrumentation switch: the queued-bytes
+	// high-water tracking keys off the same nil check, so an
+	// uninstrumented Deliver pays exactly one comparison.
+	sizeHist *obs.Histogram
 }
 
 // MemoryPathBandwidth is the effective bandwidth of rank-to-rank transfers
@@ -112,6 +120,10 @@ func (nw *Network) Deliver(src, dst int, bytes float64) (senderFree, arrival flo
 		lp.free = start + svc
 		lp.bytes += bytes
 		lp.busy += svc
+		if nw.sizeHist != nil {
+			nw.sizeHist.Observe(bytes)
+			lp.markQueued(now, nw.memBW)
+		}
 		return lp.free, lp.free + nw.memLat
 	}
 	t, r := &nw.tx[src], &nw.rx[dst]
@@ -124,7 +136,21 @@ func (nw *Network) Deliver(src, dst int, bytes float64) (senderFree, arrival flo
 	t.busy += svc
 	r.busy += svc
 	nw.fabric += bytes
+	if nw.sizeHist != nil {
+		nw.sizeHist.Observe(bytes)
+		t.markQueued(now, nw.prof.Throughput)
+		r.markQueued(now, nw.prof.Throughput)
+	}
 	return t.free, t.free + nw.prof.Latency
+}
+
+// markQueued updates the port's queued-bytes high-water mark: the bytes
+// still pending behind the port right after a booking, at the port's
+// drain rate.
+func (p *port) markQueued(now, rate float64) {
+	if q := (p.free - now) * rate; q > p.queuedMax {
+		p.queuedMax = q
+	}
 }
 
 // BytesSent returns the total bytes node has transmitted over the wire
@@ -145,3 +171,39 @@ func (nw *Network) Messages() uint64 { return nw.packets }
 
 // TXBusy returns the accumulated busy seconds of a node's TX port.
 func (nw *Network) TXBusy(node int) float64 { return nw.tx[node].busy }
+
+// RXBusy returns the accumulated busy seconds of a node's RX port.
+func (nw *Network) RXBusy(node int) float64 { return nw.rx[node].busy }
+
+// Instrument attaches live observability to the network: every Deliver
+// observes the message size and updates per-port queued-bytes high-water
+// marks. Nil-safe — Instrument(nil) leaves the network uninstrumented,
+// and the uninstrumented Deliver path pays a single nil check.
+func (nw *Network) Instrument(s *obs.Scope) {
+	if s == nil {
+		return
+	}
+	nw.sizeHist = s.Histogram("message_size_bytes", obs.MessageSizeBuckets)
+}
+
+// PublishMetrics exports the interconnect's accounting into a scope:
+// switch totals plus, per port, busy seconds, carried bytes, and (on
+// instrumented runs) the queued-bytes high-water mark. Ports publish in
+// index order, so the snapshot is deterministic.
+func (nw *Network) PublishMetrics(s *obs.Scope) {
+	if s == nil {
+		return
+	}
+	s.Counter("fabric_bytes").Add(nw.fabric)
+	s.Counter("messages").Add(float64(nw.packets))
+	for i := range nw.tx {
+		ps := s.Scope(fmt.Sprintf("port%d", i))
+		ps.Counter("tx_busy_s").Add(nw.tx[i].busy)
+		ps.Counter("rx_busy_s").Add(nw.rx[i].busy)
+		ps.Counter("tx_bytes").Add(nw.tx[i].bytes)
+		ps.Counter("rx_bytes").Add(nw.rx[i].bytes)
+		ps.Counter("loop_bytes").Add(nw.loop[i].bytes)
+		ps.Gauge("tx_queued_bytes_hw").SetMax(nw.tx[i].queuedMax)
+		ps.Gauge("rx_queued_bytes_hw").SetMax(nw.rx[i].queuedMax)
+	}
+}

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"clustersoc/internal/trace"
+)
+
+// Chrome trace-event export: converts an Extrae-style trace.Trace into
+// the JSON Object Format understood by chrome://tracing and Perfetto
+// (ui.perfetto.dev -> Open trace file). Nodes map to processes, ranks to
+// threads, ops to complete ("X") slices, phase markers to instants, and
+// the optional metrics snapshot rides along in otherData so the values
+// are visible from the trace viewer's info panel.
+//
+// Times are microseconds of simulated time. Output is deterministic:
+// events are emitted in rank order and op order, and otherData keys are
+// sorted by the JSON encoder.
+
+// chromeEvent is one trace event. Field order is the serialization order.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	Ts    float64        `json:"ts"`
+	Dur   *float64       `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+const secToUs = 1e6
+
+// WriteChromeTrace writes t as Chrome trace-event JSON. The snapshot may
+// be empty; when present its metrics are attached under otherData.
+func WriteChromeTrace(w io.Writer, t *trace.Trace, snap Snapshot) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"displayTimeUnit":"ms","otherData":`); err != nil {
+		return err
+	}
+	other := map[string]any{"source": "clustersoc simulator", "runtime_s": t.Runtime}
+	for _, m := range snap.Metrics {
+		if m.Kind == "histogram" {
+			other["metric."+m.Name+".count"] = m.Count
+			other["metric."+m.Name+".sum"] = m.Sum
+			continue
+		}
+		other["metric."+m.Name] = m.Value
+	}
+	ob, err := json.Marshal(other) // map keys serialize sorted
+	if err != nil {
+		return err
+	}
+	if _, err := bw.Write(ob); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(`,"traceEvents":[`); err != nil {
+		return err
+	}
+
+	first := true
+	emit := func(e chromeEvent) error {
+		b, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		if !first {
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err = bw.Write(b)
+		return err
+	}
+
+	// Name the processes (nodes) and threads (ranks) up front.
+	seenNode := map[int]bool{}
+	for _, r := range t.Ranks {
+		if !seenNode[r.Node] {
+			seenNode[r.Node] = true
+			if err := emit(chromeEvent{Name: "process_name", Phase: "M", Pid: r.Node,
+				Args: map[string]any{"name": fmt.Sprintf("node %d", r.Node)}}); err != nil {
+				return err
+			}
+		}
+		if err := emit(chromeEvent{Name: "thread_name", Phase: "M", Pid: r.Node, Tid: r.Rank,
+			Args: map[string]any{"name": fmt.Sprintf("rank %d", r.Rank)}}); err != nil {
+			return err
+		}
+	}
+
+	for _, r := range t.Ranks {
+		for _, op := range r.Ops {
+			e := chromeEvent{Ts: op.Start * secToUs, Pid: r.Node, Tid: r.Rank}
+			dur := (op.End - op.Start) * secToUs
+			if dur < 0 {
+				dur = 0
+			}
+			switch op.Kind {
+			case trace.OpCompute:
+				e.Name, e.Phase, e.Dur = "compute", "X", &dur
+			case trace.OpCopy:
+				e.Name, e.Phase, e.Dur = "copy", "X", &dur
+			case trace.OpSend:
+				e.Name, e.Phase, e.Dur = fmt.Sprintf("send->%d", op.Peer), "X", &dur
+				e.Args = map[string]any{"peer": op.Peer, "tag": op.Tag, "bytes": op.Bytes}
+			case trace.OpRecv:
+				e.Name, e.Phase, e.Dur = fmt.Sprintf("recv<-%d", op.Peer), "X", &dur
+				e.Args = map[string]any{"peer": op.Peer, "tag": op.Tag}
+			case trace.OpPhase:
+				e.Name, e.Phase, e.Scope = "phase", "i", "t"
+			default:
+				continue
+			}
+			if err := emit(e); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := bw.WriteString("]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// MessageSizeBuckets are the histogram bounds (bytes) shared by the
+// network layer and TraceSnapshot, spanning control messages to bulk
+// halo exchanges.
+var MessageSizeBuckets = []float64{
+	256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20,
+}
+
+// TraceSnapshot derives an observability snapshot from a recorded trace:
+// the view cmd/replay renders under -profile for traces loaded from disk,
+// where no live registry exists.
+func TraceSnapshot(t *trace.Trace) Snapshot {
+	reg := NewRegistry()
+	s := reg.Scope("trace")
+	s.Gauge("ranks").Set(float64(len(t.Ranks)))
+	s.Gauge("runtime_s").Set(t.Runtime)
+	ops := s.Counter("ops")
+	compute := s.Counter("compute_s")
+	copies := s.Counter("copy_s")
+	commWait := s.Counter("comm_wait_s")
+	msgs := s.Counter("messages")
+	bytes := s.Counter("message_bytes")
+	sizes := s.Histogram("message_size_bytes", MessageSizeBuckets)
+	for _, r := range t.Ranks {
+		ops.Add(float64(len(r.Ops)))
+		for _, op := range r.Ops {
+			switch op.Kind {
+			case trace.OpCompute:
+				compute.Add(op.Dur)
+			case trace.OpCopy:
+				copies.Add(op.Dur)
+			case trace.OpSend:
+				msgs.Inc()
+				bytes.Add(op.Bytes)
+				sizes.Observe(op.Bytes)
+				commWait.Add(op.End - op.Start)
+			case trace.OpRecv:
+				commWait.Add(op.End - op.Start)
+			}
+		}
+	}
+	return reg.Snapshot()
+}

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"clustersoc/internal/trace"
+)
+
+// handTrace builds a small two-node, three-rank trace by hand:
+//
+//	rank0 (node0): compute 0..1s, send 1KiB to rank1 at 1..1.5s, phase @2s
+//	rank1 (node0): recv from rank0 0..1.5s
+//	rank2 (node1): copy 0..0.5s
+func handTrace() *trace.Trace {
+	tr := trace.New([]int{0, 0, 1})
+	tr.RecordCompute(0, 1.0, 0)
+	tr.RecordSend(0, 1, 7, 1024, 1.0, 1.5)
+	tr.RecordPhase(0, 2.0)
+	tr.RecordRecv(1, 0, 7, 0, 1.5)
+	tr.RecordCopy(2, 0.5, 0)
+	tr.Finish(2.0)
+	return &tr.T
+}
+
+// chromeFile mirrors the JSON Object Format for decoding in tests.
+type chromeFile struct {
+	DisplayTimeUnit string           `json:"displayTimeUnit"`
+	OtherData       map[string]any   `json:"otherData"`
+	TraceEvents     []map[string]any `json:"traceEvents"`
+}
+
+func TestWriteChromeTraceValidJSON(t *testing.T) {
+	tt := handTrace()
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tt, TraceSnapshot(tt)); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var f chromeFile
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if f.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", f.DisplayTimeUnit)
+	}
+	if f.OtherData["runtime_s"] != 2.0 {
+		t.Fatalf("otherData.runtime_s = %v", f.OtherData["runtime_s"])
+	}
+	if f.OtherData["metric.trace.messages"] != 1.0 {
+		t.Fatalf("otherData.metric.trace.messages = %v", f.OtherData["metric.trace.messages"])
+	}
+
+	byPhase := map[string][]map[string]any{}
+	for _, e := range f.TraceEvents {
+		ph := e["ph"].(string)
+		byPhase[ph] = append(byPhase[ph], e)
+	}
+	// 2 process_name + 3 thread_name metadata events.
+	if len(byPhase["M"]) != 5 {
+		t.Fatalf("got %d metadata events, want 5", len(byPhase["M"]))
+	}
+	// compute, send, recv, copy as complete slices; phase as instant.
+	if len(byPhase["X"]) != 4 {
+		t.Fatalf("got %d X events, want 4", len(byPhase["X"]))
+	}
+	if len(byPhase["i"]) != 1 {
+		t.Fatalf("got %d instant events, want 1", len(byPhase["i"]))
+	}
+
+	var send map[string]any
+	for _, e := range byPhase["X"] {
+		if e["name"] == "send->1" {
+			send = e
+		}
+	}
+	if send == nil {
+		t.Fatalf("no send event in %v", byPhase["X"])
+	}
+	if send["ts"] != 1.0*1e6 || send["dur"] != 0.5*1e6 {
+		t.Fatalf("send ts/dur = %v/%v, want microseconds 1e6/5e5", send["ts"], send["dur"])
+	}
+	args := send["args"].(map[string]any)
+	if args["bytes"] != 1024.0 || args["peer"] != 1.0 || args["tag"] != 7.0 {
+		t.Fatalf("send args = %v", args)
+	}
+	if send["pid"] != 0.0 || send["tid"] != 0.0 {
+		t.Fatalf("send pid/tid = %v/%v", send["pid"], send["tid"])
+	}
+}
+
+func TestWriteChromeTraceDeterministic(t *testing.T) {
+	tt := handTrace()
+	var a, b bytes.Buffer
+	if err := WriteChromeTrace(&a, tt, TraceSnapshot(tt)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChromeTrace(&b, tt, TraceSnapshot(tt)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("two exports of the same trace differ")
+	}
+}
+
+func TestTraceSnapshotValues(t *testing.T) {
+	snap := TraceSnapshot(handTrace())
+	checks := map[string]float64{
+		"trace.ranks":         3,
+		"trace.runtime_s":     2,
+		"trace.ops":           5,
+		"trace.compute_s":     1,
+		"trace.copy_s":        0.5,
+		"trace.messages":      1,
+		"trace.message_bytes": 1024,
+		// send blocked 1.0..1.5, recv blocked 0..1.5
+		"trace.comm_wait_s": 2.0,
+	}
+	for name, want := range checks {
+		if got := snap.Value(name); math.Abs(got-want) > 1e-12 {
+			t.Errorf("%s = %g, want %g", name, got, want)
+		}
+	}
+	h, ok := snap.Get("trace.message_size_bytes")
+	if !ok || h.Count != 1 || h.Sum != 1024 {
+		t.Fatalf("message size histogram = %+v (ok=%v)", h, ok)
+	}
+}

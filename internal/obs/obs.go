@@ -1,0 +1,417 @@
+// Package obs is the simulator-wide observability layer: a deterministic
+// metrics registry (counters, gauges, fixed-bucket histograms) with named
+// scopes, per-scenario profiles, and a Perfetto/Chrome trace-event
+// exporter for execution traces.
+//
+// Two properties are load-bearing and locked in by tests elsewhere in the
+// repo:
+//
+//   - Determinism. Snapshots are stable-sorted by metric name, metrics
+//     derived from simulated quantities never touch the wall clock, and no
+//     map-iteration order leaks into any output. A scenario profiled twice
+//     produces byte-identical simulated sections.
+//
+//   - Zero overhead when disabled. Every mutating method is a no-op on a
+//     nil receiver, and a nil *Registry hands out nil scopes which hand
+//     out nil metrics, so instrumentation points in hot loops reduce to a
+//     single nil check (or nothing at all) when observability is off.
+//     Enabling observability must change no simulation result bytes.
+//
+// Concurrency: metric registration (Scope/Counter/Gauge/Histogram calls)
+// is safe from multiple goroutines — the run-plane profiles scenarios
+// concurrently — but each individual metric must be updated from a single
+// goroutine at a time, which the single-threaded simulation engine
+// guarantees for all simulated metrics.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Counter is a monotonically growing sum. The nil Counter ignores Add.
+type Counter struct {
+	v float64
+}
+
+// Add accumulates d. No-op on a nil receiver.
+func (c *Counter) Add(d float64) {
+	if c == nil {
+		return
+	}
+	c.v += d
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the accumulated sum (0 for a nil Counter).
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a point-in-time value. The nil Gauge ignores updates.
+type Gauge struct {
+	v float64
+}
+
+// Set records v. No-op on a nil receiver.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.v = v
+}
+
+// SetMax records v only if it exceeds the current value — a high-water
+// mark. No-op on a nil receiver.
+func (g *Gauge) SetMax(v float64) {
+	if g == nil || v <= g.v {
+		return
+	}
+	g.v = v
+}
+
+// Value returns the current value (0 for a nil Gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Histogram is a fixed-bucket distribution: counts[i] tallies
+// observations v <= bounds[i]; observations above the last bound land in
+// the overflow bucket. The nil Histogram ignores Observe.
+type Histogram struct {
+	bounds   []float64
+	counts   []uint64 // len(bounds)+1; the last entry is the overflow
+	observed uint64
+	sum      float64
+}
+
+// Observe records one sample. No-op on a nil receiver.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.observed++
+	h.sum += v
+	h.counts[sort.SearchFloat64s(h.bounds, v)]++
+}
+
+// Count returns the number of observations (0 for a nil Histogram).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.observed
+}
+
+// Sum returns the sum of all observations (0 for a nil Histogram).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// metric is one registered instrument with its full name.
+type metric struct {
+	kind   string // "counter", "gauge", "histogram"
+	nondet bool
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// Registry holds named metrics. The nil Registry is the disabled layer:
+// it hands out nil scopes, whose metric constructors return nil metrics.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: map[string]*metric{}}
+}
+
+// Scope opens a named scope ("sim", "network", ...) under which metrics
+// register as "<scope>.<name>". Nil-safe: a nil registry returns a nil
+// scope.
+func (r *Registry) Scope(name string) *Scope {
+	if r == nil {
+		return nil
+	}
+	return &Scope{reg: r, prefix: name}
+}
+
+// Scope is a named prefix in a registry. The nil Scope hands out nil
+// metrics, so a disabled instrumentation point costs one nil check.
+type Scope struct {
+	reg    *Registry
+	prefix string
+	nondet bool
+}
+
+// Scope opens a nested scope ("cluster" -> "cluster.node0").
+func (s *Scope) Scope(name string) *Scope {
+	if s == nil {
+		return nil
+	}
+	return &Scope{reg: s.reg, prefix: s.prefix + "." + name, nondet: s.nondet}
+}
+
+// NonDeterministic returns a view of the scope whose metrics are flagged
+// as wall-clock-derived: they carry the flag into snapshots and are
+// stripped by Snapshot.Deterministic, which keeps them out of anything
+// compared byte-for-byte across runs.
+func (s *Scope) NonDeterministic() *Scope {
+	if s == nil {
+		return nil
+	}
+	return &Scope{reg: s.reg, prefix: s.prefix, nondet: true}
+}
+
+// register returns the metric under the scope's prefix, creating it on
+// first use. Re-registering an existing name returns the same instrument;
+// re-registering it as a different kind is a programming bug and panics.
+func (s *Scope) register(name, kind string, mk func() *metric) *metric {
+	full := s.prefix + "." + name
+	s.reg.mu.Lock()
+	defer s.reg.mu.Unlock()
+	if m, ok := s.reg.metrics[full]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s (is %s)", full, kind, m.kind))
+		}
+		return m
+	}
+	m := mk()
+	m.kind = kind
+	m.nondet = s.nondet
+	s.reg.metrics[full] = m
+	return m
+}
+
+// Counter returns the named counter in this scope (nil on a nil scope).
+func (s *Scope) Counter(name string) *Counter {
+	if s == nil {
+		return nil
+	}
+	return s.register(name, "counter", func() *metric { return &metric{c: &Counter{}} }).c
+}
+
+// Gauge returns the named gauge in this scope (nil on a nil scope).
+func (s *Scope) Gauge(name string) *Gauge {
+	if s == nil {
+		return nil
+	}
+	return s.register(name, "gauge", func() *metric { return &metric{g: &Gauge{}} }).g
+}
+
+// Histogram returns the named histogram with the given ascending bucket
+// upper bounds (nil on a nil scope). If the name already exists, the
+// existing histogram is returned and the bounds argument is ignored.
+func (s *Scope) Histogram(name string, bounds []float64) *Histogram {
+	if s == nil {
+		return nil
+	}
+	return s.register(name, "histogram", func() *metric {
+		b := append([]float64(nil), bounds...)
+		if !sort.Float64sAreSorted(b) {
+			panic(fmt.Sprintf("obs: histogram %q bounds not ascending: %v", s.prefix+"."+name, bounds))
+		}
+		return &metric{h: &Histogram{bounds: b, counts: make([]uint64, len(b)+1)}}
+	}).h
+}
+
+// Bucket is one histogram bucket in a snapshot: the count of samples at
+// or below the upper bound.
+type Bucket struct {
+	UpperBound float64 `json:"le"`
+	Count      uint64  `json:"count"`
+}
+
+// Metric is one instrument's value in a snapshot.
+type Metric struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+	// Value carries a counter's sum or a gauge's level.
+	Value float64 `json:"value"`
+	// Count/Sum/Buckets/Overflow describe a histogram.
+	Count    uint64   `json:"count,omitempty"`
+	Sum      float64  `json:"sum,omitempty"`
+	Buckets  []Bucket `json:"buckets,omitempty"`
+	Overflow uint64   `json:"overflow,omitempty"`
+	// NonDeterministic marks wall-clock-derived metrics; they never enter
+	// artifacts that are compared byte-for-byte across runs.
+	NonDeterministic bool `json:"nondeterministic,omitempty"`
+}
+
+// Snapshot is a stable view of a registry: metrics sorted by full name,
+// independent of registration or map order.
+type Snapshot struct {
+	Metrics []Metric `json:"metrics"`
+}
+
+// Snapshot captures every registered metric, sorted by name. Nil-safe:
+// a nil registry yields an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Metric, 0, len(r.metrics))
+	for name, m := range r.metrics {
+		e := Metric{Name: name, Kind: m.kind, NonDeterministic: m.nondet}
+		switch m.kind {
+		case "counter":
+			e.Value = m.c.v
+		case "gauge":
+			e.Value = m.g.v
+		case "histogram":
+			e.Count = m.h.observed
+			e.Sum = m.h.sum
+			for i, b := range m.h.bounds {
+				e.Buckets = append(e.Buckets, Bucket{UpperBound: b, Count: m.h.counts[i]})
+			}
+			e.Overflow = m.h.counts[len(m.h.bounds)]
+		}
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return Snapshot{Metrics: out}
+}
+
+// Get returns the named metric, if present.
+func (s Snapshot) Get(name string) (Metric, bool) {
+	i := sort.Search(len(s.Metrics), func(i int) bool { return s.Metrics[i].Name >= name })
+	if i < len(s.Metrics) && s.Metrics[i].Name == name {
+		return s.Metrics[i], true
+	}
+	return Metric{}, false
+}
+
+// Value returns the named counter/gauge value (0 if absent).
+func (s Snapshot) Value(name string) float64 {
+	m, _ := s.Get(name)
+	return m.Value
+}
+
+// Deterministic strips wall-clock-derived metrics, leaving only values
+// that are identical across re-runs of the same scenario.
+func (s Snapshot) Deterministic() Snapshot {
+	out := Snapshot{}
+	for _, m := range s.Metrics {
+		if !m.NonDeterministic {
+			out.Metrics = append(out.Metrics, m)
+		}
+	}
+	return out
+}
+
+// Merge combines snapshots into one by metric name: counters, histogram
+// buckets, counts, and sums add; gauges take the maximum (high-water
+// semantics). Bucket layouts are merged positionally when they agree and
+// dropped to count/sum-only when they do not. The result is sorted, so
+// merging is deterministic regardless of input order.
+func Merge(snaps ...Snapshot) Snapshot {
+	byName := map[string]*Metric{}
+	var names []string
+	for _, s := range snaps {
+		for _, m := range s.Metrics {
+			prev, ok := byName[m.Name]
+			if !ok {
+				cp := m
+				cp.Buckets = append([]Bucket(nil), m.Buckets...)
+				byName[m.Name] = &cp
+				names = append(names, m.Name)
+				continue
+			}
+			prev.NonDeterministic = prev.NonDeterministic || m.NonDeterministic
+			switch prev.Kind {
+			case "gauge":
+				if m.Value > prev.Value {
+					prev.Value = m.Value
+				}
+			case "histogram":
+				prev.Count += m.Count
+				prev.Sum += m.Sum
+				prev.Overflow += m.Overflow
+				if len(prev.Buckets) == len(m.Buckets) {
+					for i := range prev.Buckets {
+						if prev.Buckets[i].UpperBound != m.Buckets[i].UpperBound {
+							prev.Buckets = nil
+							break
+						}
+						prev.Buckets[i].Count += m.Buckets[i].Count
+					}
+				} else {
+					prev.Buckets = nil
+				}
+			default:
+				prev.Value += m.Value
+			}
+		}
+	}
+	sort.Strings(names)
+	out := Snapshot{Metrics: make([]Metric, 0, len(names))}
+	for _, n := range names {
+		out.Metrics = append(out.Metrics, *byName[n])
+	}
+	return out
+}
+
+// Render formats the snapshot as an aligned, human-readable table —
+// the stderr view the CLIs print under -profile. Wall-clock-derived
+// metrics are marked "(wall)".
+func (s Snapshot) Render() string {
+	if len(s.Metrics) == 0 {
+		return "(no metrics)\n"
+	}
+	nameW := len("metric")
+	for _, m := range s.Metrics {
+		if len(m.Name) > nameW {
+			nameW = len(m.Name)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-*s  %-9s  %s\n", nameW, "metric", "kind", "value")
+	for _, m := range s.Metrics {
+		val := formatValue(m)
+		if m.NonDeterministic {
+			val += " (wall)"
+		}
+		fmt.Fprintf(&b, "%-*s  %-9s  %s\n", nameW, m.Name, m.Kind, val)
+	}
+	return b.String()
+}
+
+func formatValue(m Metric) string {
+	if m.Kind != "histogram" {
+		return fmt.Sprintf("%g", m.Value)
+	}
+	var parts []string
+	cum := uint64(0)
+	for _, bk := range m.Buckets {
+		if bk.Count > 0 {
+			parts = append(parts, fmt.Sprintf("<=%g:%d", bk.UpperBound, bk.Count))
+		}
+		cum += bk.Count
+	}
+	if m.Overflow > 0 {
+		parts = append(parts, fmt.Sprintf(">max:%d", m.Overflow))
+	}
+	mean := 0.0
+	if m.Count > 0 {
+		mean = m.Sum / float64(m.Count)
+	}
+	return fmt.Sprintf("n=%d mean=%g [%s]", m.Count, mean, strings.Join(parts, " "))
+}

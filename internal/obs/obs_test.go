@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestNilLayerIsNoOp locks in the zero-overhead-when-disabled contract:
+// a nil registry hands out nil scopes, nil scopes hand out nil metrics,
+// and every mutating method on a nil receiver is a safe no-op.
+func TestNilLayerIsNoOp(t *testing.T) {
+	var r *Registry
+	s := r.Scope("sim")
+	if s != nil {
+		t.Fatalf("nil registry returned non-nil scope")
+	}
+	s.Counter("c").Add(1)
+	s.Counter("c").Inc()
+	s.Gauge("g").Set(2)
+	s.Gauge("g").SetMax(3)
+	s.Histogram("h", []float64{1, 2}).Observe(5)
+	s.Scope("nested").Counter("c2").Add(1)
+	s.NonDeterministic().Counter("c3").Add(1)
+
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("nil instrument accessors not zero")
+	}
+	if got := r.Snapshot(); len(got.Metrics) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", got)
+	}
+}
+
+func TestSnapshotSortedByName(t *testing.T) {
+	reg := NewRegistry()
+	reg.Scope("zzz").Counter("last").Add(1)
+	reg.Scope("aaa").Gauge("first").Set(2)
+	reg.Scope("mmm").Scope("nested").Counter("mid").Add(3)
+
+	snap := reg.Snapshot()
+	var names []string
+	for _, m := range snap.Metrics {
+		names = append(names, m.Name)
+	}
+	want := []string{"aaa.first", "mmm.nested.mid", "zzz.last"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("snapshot order = %v, want %v", names, want)
+	}
+	if !reflect.DeepEqual(reg.Snapshot(), snap) {
+		t.Fatalf("repeated snapshots differ")
+	}
+}
+
+func TestRegistrationDedup(t *testing.T) {
+	reg := NewRegistry()
+	s := reg.Scope("s")
+	c1 := s.Counter("x")
+	c1.Add(1)
+	c2 := s.Counter("x")
+	c2.Add(2)
+	if c1 != c2 {
+		t.Fatalf("re-registering a counter returned a different instrument")
+	}
+	if got := reg.Snapshot().Value("s.x"); got != 3 {
+		t.Fatalf("s.x = %g, want 3", got)
+	}
+	h1 := s.Histogram("h", []float64{1, 2})
+	h2 := s.Histogram("h", []float64{99}) // bounds ignored on re-registration
+	if h1 != h2 {
+		t.Fatalf("re-registering a histogram returned a different instrument")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Scope("s").Counter("x")
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatalf("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	reg.Scope("s").Gauge("x")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Scope("s").Histogram("sizes", []float64{1, 2})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3} {
+		h.Observe(v)
+	}
+	m, ok := reg.Snapshot().Get("s.sizes")
+	if !ok {
+		t.Fatalf("histogram missing from snapshot")
+	}
+	if m.Count != 5 || m.Sum != 8 {
+		t.Fatalf("count/sum = %d/%g, want 5/8", m.Count, m.Sum)
+	}
+	want := []Bucket{{UpperBound: 1, Count: 2}, {UpperBound: 2, Count: 2}}
+	if !reflect.DeepEqual(m.Buckets, want) {
+		t.Fatalf("buckets = %+v, want %+v", m.Buckets, want)
+	}
+	if m.Overflow != 1 {
+		t.Fatalf("overflow = %d, want 1", m.Overflow)
+	}
+}
+
+func TestGaugeSetMax(t *testing.T) {
+	g := NewRegistry().Scope("s").Gauge("hw")
+	g.SetMax(5)
+	g.SetMax(3)
+	if g.Value() != 5 {
+		t.Fatalf("SetMax lowered the high-water mark: %g", g.Value())
+	}
+	g.SetMax(7)
+	if g.Value() != 7 {
+		t.Fatalf("SetMax did not raise the mark: %g", g.Value())
+	}
+}
+
+func TestDeterministicStripsWallMetrics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Scope("sim").Counter("events").Add(10)
+	reg.Scope("runner").NonDeterministic().Counter("wall_s").Add(1.23)
+
+	snap := reg.Snapshot()
+	if m, _ := snap.Get("runner.wall_s"); !m.NonDeterministic {
+		t.Fatalf("wall metric not flagged non-deterministic")
+	}
+	det := snap.Deterministic()
+	if _, ok := det.Get("runner.wall_s"); ok {
+		t.Fatalf("Deterministic kept a wall metric")
+	}
+	if _, ok := det.Get("sim.events"); !ok {
+		t.Fatalf("Deterministic dropped a simulated metric")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	mk := func(c, g float64, obs []float64) Snapshot {
+		reg := NewRegistry()
+		reg.Scope("s").Counter("c").Add(c)
+		reg.Scope("s").Gauge("g").Set(g)
+		h := reg.Scope("s").Histogram("h", []float64{1, 2})
+		for _, v := range obs {
+			h.Observe(v)
+		}
+		return reg.Snapshot()
+	}
+	m := Merge(mk(1, 5, []float64{0.5}), mk(2, 3, []float64{1.5, 9}))
+	if got := m.Value("s.c"); got != 3 {
+		t.Fatalf("merged counter = %g, want 3 (sum)", got)
+	}
+	if got := m.Value("s.g"); got != 5 {
+		t.Fatalf("merged gauge = %g, want 5 (max)", got)
+	}
+	h, _ := m.Get("s.h")
+	if h.Count != 3 || h.Sum != 11 || h.Overflow != 1 {
+		t.Fatalf("merged histogram = %+v", h)
+	}
+	want := []Bucket{{UpperBound: 1, Count: 1}, {UpperBound: 2, Count: 1}}
+	if !reflect.DeepEqual(h.Buckets, want) {
+		t.Fatalf("merged buckets = %+v, want %+v", h.Buckets, want)
+	}
+	// Merge order must not matter.
+	if !reflect.DeepEqual(Merge(mk(2, 3, nil), mk(1, 5, nil)).Metrics, Merge(mk(1, 5, nil), mk(2, 3, nil)).Metrics) {
+		t.Fatalf("Merge is order-sensitive")
+	}
+}
+
+func TestRender(t *testing.T) {
+	reg := NewRegistry()
+	reg.Scope("sim").Counter("events").Add(42)
+	reg.Scope("runner").NonDeterministic().Counter("wall_s").Add(1.5)
+	out := reg.Snapshot().Render()
+	for _, want := range []string{"metric", "sim.events", "42", "runner.wall_s", "(wall)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Render output missing %q:\n%s", want, out)
+		}
+	}
+	if got := (Snapshot{}).Render(); got != "(no metrics)\n" {
+		t.Fatalf("empty Render = %q", got)
+	}
+}
+
+// TestConcurrentRegistration exercises the registry's only concurrent
+// contract: registration from multiple goroutines (the run-plane profiles
+// scenarios in parallel, each against its own registry, but scopes may be
+// built concurrently). Run under -race in CI.
+func TestConcurrentRegistration(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := reg.Scope("shared")
+			s.Counter(fmt.Sprintf("own%d", i)).Add(float64(i))
+			s.Gauge("common_gauge")
+			s.Histogram("common_hist", []float64{1, 2, 4})
+		}(i)
+	}
+	wg.Wait()
+	snap := reg.Snapshot()
+	if len(snap.Metrics) != 8+2 {
+		t.Fatalf("got %d metrics, want 10", len(snap.Metrics))
+	}
+}

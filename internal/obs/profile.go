@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// Profile is one scenario's observability record: the deterministic
+// simulated-metrics snapshot plus an explicitly separated wall-clock
+// section. Profiles of cached run-plane results are shared between
+// duplicate submissions and must be treated as immutable, exactly like
+// the results themselves.
+type Profile struct {
+	// Scenario is a human-readable identity (workload @ system | config).
+	Scenario string `json:"scenario"`
+	// Fingerprint is the run-plane's canonical cache key for the scenario;
+	// profile files sort by it so their order is deterministic.
+	Fingerprint string `json:"fingerprint"`
+	// Sim holds metrics derived purely from simulated quantities. Two runs
+	// of the same scenario produce byte-identical Sim sections.
+	Sim Snapshot `json:"sim"`
+	// Wall is the non-deterministic section: real-time measurements of the
+	// run that produced this profile. It is excluded from any artifact
+	// compared across runs; a cached result keeps the original execution's
+	// wall stats.
+	Wall *WallStats `json:"wall,omitempty"`
+}
+
+// WallStats are wall-clock measurements of one scenario execution. They
+// vary run to run and machine to machine by nature.
+type WallStats struct {
+	Note    string  `json:"note"`
+	Seconds float64 `json:"seconds"`
+}
+
+// WallNote is stamped into every WallStats so profile readers cannot
+// mistake the section for simulated data.
+const WallNote = "wall-clock measurements: non-deterministic, excluded from result artifacts"
+
+// profileFile is the sidecar schema: a version header and the profiles.
+type profileFile struct {
+	Version  int        `json:"version"`
+	Profiles []*Profile `json:"profiles"`
+}
+
+// ProfileFileVersion is bumped on incompatible sidecar schema changes.
+const ProfileFileVersion = 1
+
+// WriteProfiles serializes profiles as an indented JSON sidecar
+// (*.profile.json), sorted by scenario fingerprint so the simulated
+// content is byte-stable across runs and worker counts.
+func WriteProfiles(w io.Writer, profiles []*Profile) error {
+	sorted := append([]*Profile(nil), profiles...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Fingerprint < sorted[j].Fingerprint })
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(profileFile{Version: ProfileFileVersion, Profiles: sorted})
+}
+
+// ReadProfiles parses a sidecar written by WriteProfiles.
+func ReadProfiles(r io.Reader) ([]*Profile, error) {
+	var f profileFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, err
+	}
+	return f.Profiles, nil
+}

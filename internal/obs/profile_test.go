@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+func sampleProfile(fp string, events float64) *Profile {
+	reg := NewRegistry()
+	reg.Scope("sim").Counter("events").Add(events)
+	return &Profile{
+		Scenario:    "hpl on " + fp,
+		Fingerprint: fp,
+		Sim:         reg.Snapshot(),
+		Wall:        &WallStats{Note: WallNote, Seconds: 0.25},
+	}
+}
+
+func TestProfilesRoundTrip(t *testing.T) {
+	in := []*Profile{sampleProfile("bbb", 2), sampleProfile("aaa", 1)}
+	var buf bytes.Buffer
+	if err := WriteProfiles(&buf, in); err != nil {
+		t.Fatalf("WriteProfiles: %v", err)
+	}
+	out, err := ReadProfiles(&buf)
+	if err != nil {
+		t.Fatalf("ReadProfiles: %v", err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("got %d profiles, want 2", len(out))
+	}
+	// Sidecars sort by fingerprint regardless of input order.
+	if out[0].Fingerprint != "aaa" || out[1].Fingerprint != "bbb" {
+		t.Fatalf("profiles not sorted: %s, %s", out[0].Fingerprint, out[1].Fingerprint)
+	}
+	if got := out[1].Sim.Value("sim.events"); got != 2 {
+		t.Fatalf("round-tripped sim.events = %g, want 2", got)
+	}
+	if out[0].Wall == nil || out[0].Wall.Note != WallNote {
+		t.Fatalf("wall section lost in round trip: %+v", out[0].Wall)
+	}
+
+	// Sorting must not mutate the caller's slice.
+	if in[0].Fingerprint != "bbb" {
+		t.Fatalf("WriteProfiles reordered the input slice")
+	}
+}
+
+func TestWriteProfilesDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := WriteProfiles(&a, []*Profile{sampleProfile("x", 1), sampleProfile("y", 2)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteProfiles(&b, []*Profile{sampleProfile("y", 2), sampleProfile("x", 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("sidecar bytes depend on input order")
+	}
+}

@@ -9,6 +9,8 @@
 // PLS study of Fig. 8) sees a self-consistent machine.
 package perf
 
+import "clustersoc/internal/obs"
+
 // PMU holds the twelve ARMv8 PMUv3 events the paper restricts itself to
 // (cross-vendor comparable, unlike implementation-specific events).
 type PMU struct {
@@ -103,6 +105,23 @@ func (p *PMU) Vector() []float64 {
 	}
 }
 
+// Publish exports the counter values into an observability scope under
+// their MetricNames, plus the derived ratios. Nil-safe on a nil scope.
+func (p *PMU) Publish(s *obs.Scope) {
+	if s == nil {
+		return
+	}
+	vec := p.Vector()
+	for i, name := range MetricNames {
+		switch name {
+		case "LD_MISS_RATIO", "BR_MISS_RATIO", "IPC": // derived ratios, not sums
+			s.Gauge(name).Set(vec[i])
+		default:
+			s.Counter(name).Add(vec[i])
+		}
+	}
+}
+
 // GPUMetrics mirrors the nvprof events the paper collects for Table III.
 type GPUMetrics struct {
 	Launches       uint64
@@ -142,3 +161,24 @@ func (g *GPUMetrics) MemoryStallFraction() float64 { return ratio(g.StallSeconds
 
 // Throughput returns achieved FLOP/s over kernel time.
 func (g *GPUMetrics) Throughput() float64 { return ratio(g.FLOPs, g.KernelSeconds) }
+
+// Publish exports the GPU metrics into an observability scope — the
+// nvprof view of a run, folded into the simulator-wide registry.
+// Nil-safe on a nil scope.
+func (g *GPUMetrics) Publish(s *obs.Scope) {
+	if s == nil {
+		return
+	}
+	s.Counter("launches").Add(float64(g.Launches))
+	s.Counter("kernel_s").Add(g.KernelSeconds)
+	s.Counter("flops").Add(g.FLOPs)
+	s.Counter("dram_bytes").Add(g.DRAMBytes)
+	s.Counter("l2_access_bytes").Add(g.L2Accesses)
+	s.Counter("l2_hit_bytes").Add(g.L2Hits)
+	s.Counter("copy_s").Add(g.CopySeconds)
+	s.Counter("copy_bytes").Add(g.CopyBytes)
+	s.Counter("mem_stall_s").Add(g.StallSeconds)
+	s.Counter("compute_s").Add(g.ComputeSeconds)
+	s.Gauge("mem_stall_frac").Set(g.MemoryStallFraction())
+	s.Gauge("l2_hit_frac").Set(g.L2Utilization())
+}

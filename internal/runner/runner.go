@@ -16,10 +16,13 @@ package runner
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"clustersoc/internal/cluster"
+	"clustersoc/internal/obs"
 	"clustersoc/internal/workloads"
 )
 
@@ -74,9 +77,17 @@ type Result struct {
 	// throughput of a collocation run is their sum, the way the paper
 	// tallies its simultaneous hpl runs.
 	JobThroughputs []float64
+	// Profile is the scenario's observability snapshot, present only when
+	// the Runner (or ExecuteProfiled) ran with profiling enabled. It is
+	// excluded from JSON so result artifacts are byte-identical with and
+	// without profiling; sidecar files carry profiles instead. Cached
+	// results share one Profile — treat it as immutable.
+	Profile *obs.Profile `json:"-"`
 }
 
-// Stats is the run-plane's accounting, reported by the CLIs.
+// Stats is the run-plane's accounting, reported by the CLIs. The wall
+// fields are host-timing diagnostics: non-deterministic by nature, they
+// are reported on stderr only and never enter result artifacts.
 type Stats struct {
 	// Submitted counts scenarios handed to Run/RunAll.
 	Submitted int
@@ -85,6 +96,13 @@ type Stats struct {
 	Hits int
 	// Simulated counts distinct scenarios actually executed.
 	Simulated int
+	// WallSeconds accumulates the host wall time of every executed
+	// simulation (worker-seconds: with N workers busy it advances N times
+	// faster than the clock on the wall).
+	WallSeconds float64
+	// MaxInFlight is the worker-occupancy high-water mark — the most
+	// simulations that were ever executing at once.
+	MaxInFlight int
 }
 
 // entry is one memoized scenario. The first submitter executes and
@@ -102,11 +120,13 @@ type Runner struct {
 	workers int
 	sem     chan struct{}
 	// exec runs one scenario; tests substitute it to control timing.
-	exec func(Scenario) (Result, error)
+	exec func(s Scenario, profiled bool) (Result, error)
 
-	mu    sync.Mutex
-	cache map[string]*entry
-	stats Stats
+	mu        sync.Mutex
+	cache     map[string]*entry
+	stats     Stats
+	profiling bool
+	inFlight  int
 }
 
 // New returns a Runner executing at most workers simulations
@@ -119,13 +139,56 @@ func New(workers int) *Runner {
 	return &Runner{
 		workers: workers,
 		sem:     make(chan struct{}, workers),
-		exec:    Execute,
+		exec:    defaultExec,
 		cache:   map[string]*entry{},
 	}
 }
 
+// defaultExec is the Runner's executor: Execute, or ExecuteProfiled when
+// the run-plane has profiling enabled.
+func defaultExec(s Scenario, profiled bool) (Result, error) {
+	if profiled {
+		return ExecuteProfiled(s)
+	}
+	return Execute(s)
+}
+
 // Workers returns the worker-pool bound.
 func (r *Runner) Workers() int { return r.workers }
+
+// SetProfiling toggles per-scenario observability profiles. Enable it
+// before submitting work: scenarios simulated while profiling is off are
+// cached without a profile, and later duplicate submissions are served
+// from that cache as-is. Profiling never changes simulation results —
+// profiled and unprofiled runs of one scenario produce byte-identical
+// Result values (locked in by this package's determinism tests).
+func (r *Runner) SetProfiling(on bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.profiling = on
+}
+
+// Profiles returns the profiles of every completed, successfully
+// simulated scenario, sorted by fingerprint so the collection is
+// deterministic regardless of execution order. Profiles are shared with
+// cached results — treat them as immutable.
+func (r *Runner) Profiles() []*obs.Profile {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var ps []*obs.Profile
+	for _, e := range r.cache {
+		select {
+		case <-e.done:
+		default:
+			continue // still in flight
+		}
+		if e.err == nil && e.res.Profile != nil {
+			ps = append(ps, e.res.Profile)
+		}
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Fingerprint < ps[j].Fingerprint })
+	return ps
+}
 
 // Stats returns a snapshot of the cache accounting.
 func (r *Runner) Stats() Stats {
@@ -152,7 +215,20 @@ func (r *Runner) Run(s Scenario) (Result, error) {
 	r.mu.Unlock()
 
 	r.sem <- struct{}{} // acquire a worker slot
-	e.res, e.err = r.exec(s)
+	r.mu.Lock()
+	profiled := r.profiling
+	r.inFlight++
+	if r.inFlight > r.stats.MaxInFlight {
+		r.stats.MaxInFlight = r.inFlight
+	}
+	r.mu.Unlock()
+	start := time.Now()
+	e.res, e.err = r.exec(s, profiled)
+	wall := time.Since(start).Seconds()
+	r.mu.Lock()
+	r.inFlight--
+	r.stats.WallSeconds += wall
+	r.mu.Unlock()
 	<-r.sem
 	close(e.done)
 	return e.res, e.err
@@ -184,15 +260,43 @@ func (r *Runner) RunAll(scenarios []Scenario) ([]Result, error) {
 	return results, nil
 }
 
-// Execute runs one scenario directly — no cache, no pool. It is the
-// Runner's executor and the reference implementation the determinism
-// tests compare against.
+// Execute runs one scenario directly — no cache, no pool, no profiling.
+// It is the Runner's executor and the reference implementation the
+// determinism tests compare against.
 func Execute(s Scenario) (Result, error) {
+	return execute(s, nil)
+}
+
+// ExecuteProfiled is Execute with observability attached: the returned
+// Result carries a Profile holding the run's full simulated metric
+// snapshot plus host wall time. The simulation itself is unchanged —
+// everything but the Profile field is byte-identical to Execute's.
+func ExecuteProfiled(s Scenario) (Result, error) {
+	reg := obs.NewRegistry()
+	start := time.Now()
+	res, err := execute(s, reg)
+	wall := time.Since(start).Seconds()
+	if err != nil {
+		return res, err
+	}
+	res.Profile = &obs.Profile{
+		Scenario:    fmt.Sprintf("%s on %s", s.Workload, s.Cluster.Name),
+		Fingerprint: s.Fingerprint(),
+		Sim:         reg.Snapshot(),
+		Wall:        &obs.WallStats{Note: obs.WallNote, Seconds: wall},
+	}
+	return res, nil
+}
+
+// execute runs one scenario, attaching reg (may be nil) to the cluster
+// before any rank spawns.
+func execute(s Scenario, reg *obs.Registry) (Result, error) {
 	w, err := workloads.ByName(s.Workload)
 	if err != nil {
 		return Result{}, err
 	}
 	cl := cluster.New(s.Cluster)
+	cl.Instrument(reg)
 	jobs := []*cluster.Job{cl.Spawn(w.Body(s.Config))}
 	for _, j := range s.Colocated {
 		wj, err := workloads.ByName(j.Workload)

@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"container/heap"
+	"math"
+	"os"
+	"testing"
+	"time"
+)
+
+// seedEngine replicates the engine's event loop as it was before the
+// observability layer landed: no clamp counting, no queue high-water
+// tracking, no blocked-time accounting. It is the baseline the overhead
+// guard compares against.
+type seedEngine struct {
+	now   float64
+	queue eventHeap
+	seq   uint64
+}
+
+func (e *seedEngine) schedule(delay float64, fn func()) {
+	if delay < 0 || math.IsNaN(delay) {
+		delay = 0
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{time: e.now + delay, seq: e.seq, fn: fn})
+}
+
+func (e *seedEngine) run() {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		e.now = ev.time
+		ev.fn()
+	}
+}
+
+// TestEngineOverheadGuard asserts the always-on diagnostic accounting in
+// Schedule/RunUntil keeps the uninstrumented engine within 5% of the
+// seed event loop. Timing-based, so it only runs when BENCH_GUARD=1 is
+// set (a dedicated CI step); plain `go test ./...` skips it.
+func TestEngineOverheadGuard(t *testing.T) {
+	if os.Getenv("BENCH_GUARD") == "" {
+		t.Skip("timing guard: set BENCH_GUARD=1 to run")
+	}
+
+	const events = 1_000_000
+	const attempts = 5
+
+	// Each event schedules its successor: a pure event-chain drive that
+	// spends its whole life in Schedule + the run loop.
+	current := func() time.Duration {
+		e := NewEngine()
+		n := 0
+		var step func()
+		step = func() {
+			if n++; n < events {
+				e.Schedule(1e-6, step)
+			}
+		}
+		e.Schedule(1e-6, step)
+		start := time.Now()
+		e.Run()
+		return time.Since(start)
+	}
+	seed := func() time.Duration {
+		e := &seedEngine{}
+		n := 0
+		var step func()
+		step = func() {
+			if n++; n < events {
+				e.schedule(1e-6, step)
+			}
+		}
+		e.schedule(1e-6, step)
+		start := time.Now()
+		e.run()
+		return time.Since(start)
+	}
+
+	best := func(f func() time.Duration) time.Duration {
+		m := time.Duration(math.MaxInt64)
+		for i := 0; i < attempts; i++ {
+			if d := f(); d < m {
+				m = d
+			}
+		}
+		return m
+	}
+	// Interleave a warm-up of each before timing.
+	current()
+	seed()
+	cur, base := best(current), best(seed)
+
+	ratio := float64(cur) / float64(base)
+	t.Logf("current %v vs seed %v (ratio %.3f)", cur, base, ratio)
+	if ratio > 1.05 {
+		t.Fatalf("uninstrumented engine is %.1f%% slower than the seed loop (budget 5%%): %v vs %v",
+			100*(ratio-1), cur, base)
+	}
+}

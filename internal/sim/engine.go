@@ -13,6 +13,8 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+
+	"clustersoc/internal/obs"
 )
 
 // event is a scheduled callback. Events with equal times fire in the order
@@ -54,6 +56,14 @@ type Engine struct {
 	park   chan struct{} // handed a token when a process yields back
 	events uint64        // total events processed, for diagnostics
 	procs  int           // live (spawned, unfinished) processes
+
+	// Diagnostic accounting. These are plain integer/float updates on
+	// paths that already branch, so they stay on even when the
+	// observability layer is disabled; PublishMetrics exports them.
+	clampedNeg uint64  // Schedule calls with a negative delay (clamped to 0)
+	clampedNaN uint64  // Schedule calls with a NaN delay (clamped to 0)
+	maxQueue   int     // calendar depth high-water mark
+	blocked    float64 // total simulated seconds processes spent blocked
 }
 
 // NewEngine returns an engine with the clock at zero and an empty calendar.
@@ -68,14 +78,24 @@ func (e *Engine) Now() float64 { return e.now }
 func (e *Engine) Events() uint64 { return e.events }
 
 // Schedule enqueues fn to run after delay seconds of simulated time.
-// A negative delay is treated as zero. Schedule is only valid from the
-// engine's own context (an event callback or a running process).
+// A negative or NaN delay is treated as zero, but never silently: each
+// clamp is counted (see ClampedDelays) and reported in the deadlock
+// panic, because a model emitting such delays is buggy even when the
+// clamped schedule happens to complete.
 func (e *Engine) Schedule(delay float64, fn func()) {
 	if delay < 0 || math.IsNaN(delay) {
+		if math.IsNaN(delay) {
+			e.clampedNaN++
+		} else {
+			e.clampedNeg++
+		}
 		delay = 0
 	}
 	e.seq++
 	heap.Push(&e.queue, &event{time: e.now + delay, seq: e.seq, fn: fn})
+	if len(e.queue) > e.maxQueue {
+		e.maxQueue = len(e.queue)
+	}
 }
 
 // ScheduleAt enqueues fn at absolute time t (clamped to now).
@@ -101,7 +121,12 @@ func (e *Engine) RunUntil(limit float64) float64 {
 		ev.fn()
 	}
 	if len(e.queue) == 0 && e.procs > 0 {
-		panic(fmt.Sprintf("sim: deadlock: %d process(es) blocked with no pending events at t=%g", e.procs, e.now))
+		msg := fmt.Sprintf("sim: deadlock: %d process(es) blocked with no pending events at t=%g", e.procs, e.now)
+		if e.clampedNeg+e.clampedNaN > 0 {
+			msg += fmt.Sprintf(" (%d negative and %d NaN delays were clamped to 0 — a model emitted invalid delays)",
+				e.clampedNeg, e.clampedNaN)
+		}
+		panic(msg)
 	}
 	if len(e.queue) > 0 && e.now < limit {
 		e.now = limit
@@ -111,3 +136,29 @@ func (e *Engine) RunUntil(limit float64) float64 {
 
 // Idle reports whether no events are pending.
 func (e *Engine) Idle() bool { return len(e.queue) == 0 }
+
+// ClampedDelays returns the number of Schedule calls whose delay was
+// clamped to zero, split into negative and NaN inputs. Non-zero counts
+// indicate a model bug upstream.
+func (e *Engine) ClampedDelays() (negative, nan uint64) { return e.clampedNeg, e.clampedNaN }
+
+// QueueHighWater returns the deepest the event calendar has been.
+func (e *Engine) QueueHighWater() int { return e.maxQueue }
+
+// BlockedSeconds returns the total simulated time processes have spent
+// blocked (suspended with no scheduled resumption: message waits,
+// resource queues, gate/signal waits), summed across processes.
+func (e *Engine) BlockedSeconds() float64 { return e.blocked }
+
+// PublishMetrics exports the engine's diagnostic accounting into an
+// observability scope. Nil-safe: publishing into a nil scope is a no-op.
+func (e *Engine) PublishMetrics(s *obs.Scope) {
+	if s == nil {
+		return
+	}
+	s.Counter("events").Add(float64(e.events))
+	s.Gauge("queue_high_water").Set(float64(e.maxQueue))
+	s.Counter("blocked_s").Add(e.blocked)
+	s.Counter("clamped_neg_delays").Add(float64(e.clampedNeg))
+	s.Counter("clamped_nan_delays").Add(float64(e.clampedNaN))
+}

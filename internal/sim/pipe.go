@@ -13,11 +13,12 @@ type Pipe struct {
 	Bandwidth float64 // bytes per second
 	Latency   float64 // seconds per transfer
 
-	eng   *Engine
-	free  float64 // time the server becomes free
-	bytes float64 // total bytes carried
-	busy  float64 // total seconds of server occupancy
-	count uint64  // number of transfers
+	eng    *Engine
+	free   float64 // time the server becomes free
+	bytes  float64 // total bytes carried
+	busy   float64 // total seconds of server occupancy
+	waited float64 // total seconds transfers queued behind earlier ones
+	count  uint64  // number of transfers
 }
 
 // NewPipe returns a pipe on engine e with the given service bandwidth
@@ -35,6 +36,9 @@ func (pp *Pipe) schedule(bytes, rateCap float64) float64 {
 		rate = rateCap
 	}
 	start := math.Max(e.now, pp.free)
+	if start > e.now {
+		pp.waited += start - e.now
+	}
 	dur := 0.0
 	if bytes > 0 {
 		dur = bytes / rate
@@ -84,6 +88,11 @@ func (pp *Pipe) Bytes() float64 { return pp.bytes }
 
 // BusyTime returns the total seconds the server has been occupied.
 func (pp *Pipe) BusyTime() float64 { return pp.busy }
+
+// QueueWait returns the total seconds transfers have spent queued behind
+// earlier transfers before starting service — the arbitration stall a
+// shared DRAM port inflicts on its contenders.
+func (pp *Pipe) QueueWait() float64 { return pp.waited }
 
 // Transfers returns the number of transfers carried.
 func (pp *Pipe) Transfers() uint64 { return pp.count }

@@ -9,10 +9,11 @@ package sim
 // Resource.Acquire; each of those schedules a resumption event and yields
 // control back to the engine.
 type Process struct {
-	eng    *Engine
-	name   string
-	resume chan struct{}
-	done   bool
+	eng     *Engine
+	name    string
+	resume  chan struct{}
+	done    bool
+	blocked float64 // simulated seconds spent blocked (no scheduled resumption)
 }
 
 // Spawn creates a process running body and schedules its first activation
@@ -50,6 +51,23 @@ func (p *Process) yield() {
 	<-p.resume
 }
 
+// block is yield with blocked-time accounting: it is the path taken when
+// the process parks with no scheduled resumption (message wait, resource
+// queue, gate/signal wait) and some other component wakes it later. The
+// elapsed simulated time is attributed to the process and to the engine
+// total, which the observability layer exports.
+func (p *Process) block() {
+	t0 := p.eng.now
+	p.yield()
+	d := p.eng.now - t0
+	p.blocked += d
+	p.eng.blocked += d
+}
+
+// BlockedSeconds returns the simulated time this process has spent
+// blocked (excluding voluntary Sleep).
+func (p *Process) BlockedSeconds() float64 { return p.blocked }
+
 // Name returns the process name given at Spawn.
 func (p *Process) Name() string { return p.name }
 
@@ -81,7 +99,7 @@ func (p *Process) SleepUntil(t float64) {
 // Suspend parks the process with no scheduled resumption; some other
 // component must later call Engine.Resume / Engine.ResumeAt, or the engine
 // will report a deadlock.
-func (p *Process) Suspend() { p.yield() }
+func (p *Process) Suspend() { p.block() }
 
 // Resume schedules p to continue at the current time. Only valid for a
 // process parked with Suspend (or registered in a Signal the caller
@@ -101,7 +119,7 @@ type Signal struct {
 // Wait suspends p until the next Fire.
 func (s *Signal) Wait(p *Process) {
 	s.waiters = append(s.waiters, p)
-	p.yield()
+	p.block()
 }
 
 // Fire resumes every currently waiting process at the present time, in the
@@ -174,7 +192,7 @@ func (r *Resource) Acquire(p *Process) {
 		return
 	}
 	r.queue = append(r.queue, p)
-	p.yield()
+	p.block()
 	// The releaser accounted and incremented on our behalf.
 }
 

@@ -94,7 +94,12 @@ func (w CPUWork) Scale(f float64) CPUWork {
 type CostResult struct {
 	Seconds   float64
 	DRAMBytes float64
-	PMU       perf.PMU
+	// MemStallSeconds is the share of Seconds the core spent stalled on
+	// L2 misses — the CPU-side view of memory pressure, which the
+	// observability layer aggregates per node next to the DRAM pipe's
+	// arbitration stall.
+	MemStallSeconds float64
+	PMU             perf.PMU
 }
 
 // clamp01 bounds x into [0,1].
@@ -176,9 +181,10 @@ func (c *CPUConfig) Cost(w CPUWork, sharers int) CostResult {
 		StallBackend:   stallMem,
 	}
 	return CostResult{
-		Seconds:   cycles / c.FreqHz,
-		DRAMBytes: w.Bytes,
-		PMU:       pmu,
+		Seconds:         cycles / c.FreqHz,
+		DRAMBytes:       w.Bytes,
+		MemStallSeconds: stallMem / c.FreqHz,
+		PMU:             pmu,
 	}
 }
 

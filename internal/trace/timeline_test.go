@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// goldenTrace builds a two-rank trace whose timings are exact binary
+// fractions (bucket width 1/16 s at width 16), so the timeline bucketing
+// has no float rounding and the rendering is exactly reproducible:
+//
+//	rank0: compute 0..0.5s, then send 0.5..1.0s
+//	rank1: recv 0..0.5s, copy 0.5..0.75s, compute 0.75..1.0s
+func goldenTrace() *Trace {
+	tr := New([]int{0, 0})
+	tr.RecordCompute(0, 0.5, 0)
+	tr.RecordSend(0, 1, 0, 1024, 0.5, 1.0)
+	tr.RecordRecv(1, 0, 0, 0, 0.5)
+	tr.RecordCopy(1, 0.25, 0.5)
+	tr.RecordCompute(1, 0.25, 0.75)
+	tr.Finish(1.0)
+	return &tr.T
+}
+
+// TestTimelineGolden locks the exact rendering: glyph priorities
+// (compute over copy over comm), bucket boundaries, and the utilization
+// footer.
+func TestTimelineGolden(t *testing.T) {
+	want := "timeline: 62.50ms per cell, '#' compute, '=' copy, '.' comm wait\n" +
+		"rank   0 |#########.......|\n" +
+		"rank   1 |........====####|\n" +
+		"\n" +
+		"utilization (compute+copy / runtime):\n" +
+		"rank   0  50.0% ***************\n" +
+		"rank   1  50.0% ***************\n"
+	got := goldenTrace().Timeline(16)
+	if got != want {
+		t.Fatalf("Timeline mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestTimelineEmptyTrace(t *testing.T) {
+	tr := New([]int{0})
+	if got := tr.T.Timeline(16); got != "(empty trace)\n" {
+		t.Fatalf("empty trace rendered %q", got)
+	}
+}
+
+// TestGoldenTraceRoundTripPreservesSummary: writing and re-reading the
+// hand-built trace preserves its aggregate view and its rendering.
+func TestGoldenTraceRoundTripPreservesSummary(t *testing.T) {
+	orig := goldenTrace()
+	var buf bytes.Buffer
+	if err := orig.Write(&buf); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if orig.Summarize() != back.Summarize() {
+		t.Fatalf("summary changed in round trip:\n%+v\nvs\n%+v", orig.Summarize(), back.Summarize())
+	}
+	s := back.Summarize()
+	if s.Ranks != 2 || s.Ops != 5 || s.Compute != 0.75 || s.Copies != 0.25 ||
+		s.Messages != 1 || s.Bytes != 1024 || s.Runtime != 1.0 {
+		t.Fatalf("unexpected summary: %+v", s)
+	}
+	if orig.Timeline(16) != back.Timeline(16) {
+		t.Fatalf("timeline rendering changed in round trip")
+	}
+}
