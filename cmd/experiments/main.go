@@ -27,6 +27,7 @@ import (
 	"clustersoc/internal/obs"
 	"clustersoc/internal/plot"
 	"clustersoc/internal/runner"
+	"clustersoc/internal/simcheck"
 )
 
 // artifactKeys is every -only selector, in presentation order.
@@ -42,6 +43,7 @@ func main() {
 		only     = flag.String("only", "", "comma-separated subset: "+strings.Join(artifactKeys, ","))
 		jsonPath = flag.String("json", "", "also write every generated artifact as JSON to this file")
 		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = sequential)")
+		check    = flag.Bool("check", false, "audit every simulated scenario with simcheck (flow conservation, MPI schedule balance, port utilization) and cross-check the collective cost models; violations fail the run")
 		profile  = flag.Bool("profile", false, "collect per-scenario observability profiles: writes a *.profile.json sidecar and a merged metrics summary on stderr")
 		traceOut = flag.String("trace-out", "", "write a Chrome/Perfetto trace of a representative run (hpl @ 8 nodes, 10GbE) to this file")
 	)
@@ -51,6 +53,7 @@ func main() {
 	o.Scale = *scale
 	o.Runner = runner.New(*parallel)
 	o.Runner.SetProfiling(*profile)
+	o.Runner.SetChecking(*check)
 
 	known := map[string]bool{}
 	for _, k := range artifactKeys {
@@ -266,9 +269,19 @@ func main() {
 		writeProfileSidecar(o, *jsonPath)
 	}
 
+	if *check {
+		if err := simcheck.Error(simcheck.AuditCollectives()); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: collective cost models:", err)
+			os.Exit(1)
+		}
+	}
+
 	st := o.Runner.Stats()
 	fmt.Fprintf(os.Stderr, "run-plane: %d scenarios submitted, %d simulated, %d duplicates served from cache (%d workers, peak %d in flight, %.1fs simulation wall)\n",
 		st.Submitted, st.Simulated, st.Hits, o.Runner.Workers(), st.MaxInFlight, st.WallSeconds)
+	if *check {
+		fmt.Fprintf(os.Stderr, "simcheck: %d scenario(s) audited, collective cost models verified — no invariant violations\n", st.Audited)
+	}
 }
 
 // writeProfileSidecar writes the run-plane's collected profiles next to

@@ -17,6 +17,7 @@ import (
 	"clustersoc/internal/dimemas"
 	"clustersoc/internal/network"
 	"clustersoc/internal/obs"
+	"clustersoc/internal/simcheck"
 	"clustersoc/internal/trace"
 	"clustersoc/internal/units"
 )
@@ -27,6 +28,7 @@ func main() {
 		netArg   = flag.String("net", "10g", "replay network: 1g, 10g, ideal, or custom via -bw/-lat")
 		bw       = flag.Float64("bw", 0, "custom bandwidth, bytes/second (overrides -net)")
 		lat      = flag.Float64("lat", 0, "custom one-way latency, seconds (with -bw)")
+		check    = flag.Bool("check", false, "audit the trace with simcheck (timing sanity, per-rank ordering, send/receive matching) before replaying; violations fail the run")
 		idealLB  = flag.Bool("ideal-lb", false, "rescale each phase's compute to the mean (LB = 1)")
 		buses    = flag.Int("buses", 0, "DIMEMAS bus-contention limit (0 = contention-free model)")
 		timeline = flag.Bool("timeline", false, "render a PARAVER-style per-rank activity view of the measured run")
@@ -53,6 +55,14 @@ func main() {
 	s := t.Summarize()
 	fmt.Printf("trace: %d ranks, %d ops, %d messages (%s), measured runtime %s\n",
 		s.Ranks, s.Ops, s.Messages, units.Bytes(s.Bytes), units.Seconds(s.Runtime))
+
+	if *check {
+		if err := simcheck.Error(simcheck.AuditTrace(t)); err != nil {
+			fmt.Fprintln(os.Stderr, "replay:", err)
+			os.Exit(1)
+		}
+		fmt.Println("simcheck: trace audited — timing, ordering, and message matching all consistent")
+	}
 
 	model := dimemas.NetworkModel{
 		IntraBandwidth: network.MemoryPathBandwidth,

@@ -122,8 +122,10 @@ type Cluster struct {
 	ranksPerNode int
 	flops        float64 // useful FLOPs accumulated by contexts
 
-	reg   *obs.Registry  // nil unless Instrument attached observability
-	procs []*sim.Process // spawned rank processes, in spawn order
+	reg      *obs.Registry  // nil unless Instrument attached observability
+	procs    []*sim.Process // spawned rank processes, in spawn order
+	comms    []*mpi.Comm    // every communicator (Comm + SpawnWith's), for auditing
+	checking bool           // propagate match-time validation to new comms
 }
 
 // New assembles a cluster from a config.
@@ -171,6 +173,7 @@ func New(cfg Config) *Cluster {
 		rankNode[r] = r / cfg.RanksPerNode
 	}
 	cl.Comm = mpi.NewComm(e, nw, rankNode)
+	cl.comms = append(cl.comms, cl.Comm)
 	if cfg.Traced {
 		cl.Tracer = trace.New(rankNode)
 		cl.Comm.SetRecorder(cl.Tracer)
@@ -198,6 +201,22 @@ func (cl *Cluster) Instrument(reg *obs.Registry) {
 	}
 	cl.Net.Instrument(reg.Scope("network"))
 }
+
+// EnableChecking turns on match-time validation (simcheck) for every
+// communicator of this cluster, current and future. Like Instrument it
+// must be called before Spawn/Run, and like instrumentation it never
+// alters the simulation — it only observes matches and collects
+// diagnostics for the post-run audit.
+func (cl *Cluster) EnableChecking() {
+	cl.checking = true
+	for _, c := range cl.comms {
+		c.SetChecking(true)
+	}
+}
+
+// Comms returns every communicator the cluster has created (the primary
+// one first, then SpawnWith's in spawn order) for post-run auditing.
+func (cl *Cluster) Comms() []*mpi.Comm { return cl.comms }
 
 // Job tracks one spawned workload's own completion and FLOP tally, so
 // co-scheduled workloads (the Table IV collocation) can report individual
@@ -240,6 +259,8 @@ func (cl *Cluster) SpawnWith(ranksPerNode int, body func(ctx *Context)) *Job {
 		rankNode[r] = r / ranksPerNode
 	}
 	comm := mpi.NewComm(cl.Eng, cl.Net, rankNode)
+	comm.SetChecking(cl.checking)
+	cl.comms = append(cl.comms, comm)
 	return cl.spawnOn(comm, ranksPerNode, body)
 }
 

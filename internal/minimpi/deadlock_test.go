@@ -1,0 +1,114 @@
+package minimpi
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// A chunked alltoall parks many messages per peer pair before anyone
+// receives. With the historical fixed depth of 64 this pattern deadlocks
+// as soon as chunks exceed the buffer; the world-scaled depth (4n) must
+// absorb it.
+func TestChunkedAlltoallExceedsOldBufferDepth(t *testing.T) {
+	n := 20 // depth = 4*20 = 80
+	chunks := 70
+	if chunks <= 64 || chunks > eagerDepth(n) {
+		t.Fatalf("test miscalibrated: chunks=%d must exceed the old depth 64 and fit the new depth %d", chunks, eagerDepth(n))
+	}
+	w := NewWorld(n)
+	w.SetStallTimeout(5 * time.Second) // fail fast if the fix regresses
+	var mu sync.Mutex
+	received := 0
+	w.Run(func(r *Rank) {
+		// Send every chunk to every peer before receiving anything — the
+		// bulk-synchronous worst case for eager buffering.
+		for d := 0; d < n; d++ {
+			if d == r.ID {
+				continue
+			}
+			for k := 0; k < chunks; k++ {
+				r.Send(d, k, []float64{float64(r.ID)})
+			}
+		}
+		for s := 0; s < n; s++ {
+			if s == r.ID {
+				continue
+			}
+			for k := 0; k < chunks; k++ {
+				got := r.Recv(s, k)
+				if len(got) != 1 || got[0] != float64(s) {
+					t.Errorf("rank %d: bad chunk from %d: %v", r.ID, s, got)
+				}
+				mu.Lock()
+				received++
+				mu.Unlock()
+			}
+		}
+	})
+	if want := n * (n - 1) * chunks; received != want {
+		t.Fatalf("received %d chunks, want %d", received, want)
+	}
+}
+
+func TestEagerDepthScalesWithWorld(t *testing.T) {
+	if d := eagerDepth(2); d != 64 {
+		t.Fatalf("small worlds must keep the historical depth 64, got %d", d)
+	}
+	if d := eagerDepth(100); d != 400 {
+		t.Fatalf("eagerDepth(100) = %d, want 400", d)
+	}
+}
+
+// A genuinely deadlocked exchange (the receiver never drains) must panic
+// with a diagnostic instead of hanging the process forever.
+func TestStallDetectorPanicsOnDeadlock(t *testing.T) {
+	w := NewWorld(2)
+	w.SetStallTimeout(100 * time.Millisecond)
+	depth := eagerDepth(2)
+	var mu sync.Mutex
+	var diagnostic string
+	w.Run(func(r *Rank) {
+		if r.ID != 0 {
+			return // never receives: rank 0's channel to it fills up
+		}
+		defer func() {
+			if msg := recover(); msg != nil {
+				mu.Lock()
+				diagnostic, _ = msg.(string)
+				mu.Unlock()
+			}
+		}()
+		for i := 0; i <= depth; i++ { // one more than the buffer holds
+			r.Send(1, i, []float64{1})
+		}
+		t.Error("overfilling send returned instead of panicking")
+	})
+	if !strings.Contains(diagnostic, "deadlocked") || !strings.Contains(diagnostic, "rank 0") {
+		t.Fatalf("stall diagnostic missing context: %q", diagnostic)
+	}
+}
+
+// A slow-but-draining receiver is not a deadlock: the send must wait out
+// transient fullness without tripping the detector.
+func TestStallDetectorToleratesSlowReceiver(t *testing.T) {
+	w := NewWorld(2)
+	w.SetStallTimeout(10 * time.Second)
+	depth := eagerDepth(2)
+	total := depth + 16
+	w.Run(func(r *Rank) {
+		if r.ID == 0 {
+			for i := 0; i < total; i++ {
+				r.Send(1, 0, []float64{float64(i)})
+			}
+			return
+		}
+		time.Sleep(50 * time.Millisecond) // let the channel fill
+		for i := 0; i < total; i++ {
+			if got := r.Recv(0, 0); got[0] != float64(i) {
+				t.Errorf("message %d out of order: %v", i, got)
+			}
+		}
+	})
+}

@@ -17,6 +17,7 @@ package minimpi
 import (
 	"fmt"
 	"sync"
+	"time"
 )
 
 // message is one typed payload.
@@ -26,10 +27,30 @@ type message struct {
 	i32 []int32
 }
 
+// DefaultStallTimeout is how long a send may block on a full eager
+// channel before the runtime declares the exchange pattern deadlocked
+// and panics with a diagnostic. A correct program only fills a channel
+// transiently (the receiver is draining); a receiver that never posts
+// leaves the sender stuck here forever, which used to hang silently.
+const DefaultStallTimeout = 30 * time.Second
+
+// eagerDepth is the per-channel eager buffer depth for an n-rank world:
+// at least the historical 64, but scaled with the world so dense
+// bulk-synchronous patterns (chunked alltoalls, deep send-ahead waves)
+// that legitimately park several messages per peer pair do not fill a
+// channel at large rank counts.
+func eagerDepth(n int) int {
+	if d := 4 * n; d > 64 {
+		return d
+	}
+	return 64
+}
+
 // World connects n ranks with buffered point-to-point channels.
 type World struct {
 	n     int
 	chans [][]chan message // chans[src][dst]
+	stall time.Duration
 }
 
 // NewWorld creates a communicator for n ranks.
@@ -37,16 +58,42 @@ func NewWorld(n int) *World {
 	if n < 1 {
 		panic("minimpi: need at least one rank")
 	}
-	w := &World{n: n, chans: make([][]chan message, n)}
+	w := &World{n: n, chans: make([][]chan message, n), stall: DefaultStallTimeout}
 	for s := 0; s < n; s++ {
 		w.chans[s] = make([]chan message, n)
 		for d := 0; d < n; d++ {
 			// Deep buffering keeps simple send-then-receive exchange
 			// patterns deadlock-free, like eager MPI.
-			w.chans[s][d] = make(chan message, 64)
+			w.chans[s][d] = make(chan message, eagerDepth(n))
 		}
 	}
 	return w
+}
+
+// SetStallTimeout adjusts how long a send may block on a full channel
+// before the deadlock detector panics. Call before Run.
+func (w *World) SetStallTimeout(d time.Duration) { w.stall = d }
+
+// send enqueues a message, detecting exchange-pattern deadlocks: if the
+// channel stays full past the stall timeout the receiver is not
+// draining, and the runtime panics with a diagnostic instead of hanging
+// the process silently.
+func (w *World) send(src, dst int, m message) {
+	ch := w.chans[src][dst]
+	select {
+	case ch <- m:
+		return
+	default:
+	}
+	t := time.NewTimer(w.stall)
+	defer t.Stop()
+	select {
+	case ch <- m:
+	case <-t.C:
+		panic(fmt.Sprintf(
+			"minimpi: rank %d stalled for %v sending tag %d to rank %d: eager channel full (%d messages buffered, depth %d) and the receiver is not draining — the exchange pattern has deadlocked",
+			src, w.stall, m.tag, dst, len(ch), cap(ch)))
+	}
 }
 
 // Size returns the rank count.
@@ -85,7 +132,7 @@ func (r *Rank) check(peer int) {
 func (r *Rank) Send(dst, tag int, data []float64) {
 	r.check(dst)
 	cp := append([]float64(nil), data...)
-	r.w.chans[r.ID][dst] <- message{tag: tag, f64: cp}
+	r.w.send(r.ID, dst, message{tag: tag, f64: cp})
 }
 
 // Recv blocks for a float64 message from src with the tag. Out-of-order
@@ -104,7 +151,7 @@ func (r *Rank) Recv(src, tag int) []float64 {
 func (r *Rank) SendInts(dst, tag int, data []int32) {
 	r.check(dst)
 	cp := append([]int32(nil), data...)
-	r.w.chans[r.ID][dst] <- message{tag: tag, i32: cp}
+	r.w.send(r.ID, dst, message{tag: tag, i32: cp})
 }
 
 // RecvInts blocks for an int32 message.

@@ -17,26 +17,32 @@ func (c *Comm) nextTag(rank int) int {
 // highestBit returns the largest power of two <= v (v > 0).
 func highestBit(v int) int { return 1 << (bits.Len(uint(v)) - 1) }
 
-// bcastLargeThreshold switches Bcast from the binomial tree to the
+// BcastLargeThreshold switches Bcast from the binomial tree to the
 // van-de-Geijn scatter + ring-allgather algorithm, whose cost stays near
 // 2*bytes/bandwidth regardless of the tree depth — what MPI libraries do
-// for large payloads such as hpl's panels.
-const bcastLargeThreshold = 256 * 1024
+// for large payloads such as hpl's panels. Exported so the simcheck
+// cost models know which algorithm a payload selects.
+const BcastLargeThreshold = 256 * 1024
 
 // Bcast broadcasts bytes from root to every rank: a binomial tree
 // (log2(P) rounds) for small messages, scatter + allgather for large.
+//
+// Both paths consume exactly two collective tags, so the per-rank tag
+// sequence stays in lockstep across the communicator even if a future
+// non-uniform payload makes ranks disagree on the size branch (the small
+// path simply leaves its second tag unused).
 func (c *Comm) Bcast(p *sim.Process, rank, root int, bytes float64) {
 	n := c.Size()
 	if n == 1 {
 		return
 	}
-	if bytes >= bcastLargeThreshold && n > 2 {
-		tag := c.nextTag(rank)
+	tag := c.nextTag(rank)
+	agTag := c.nextTag(rank)
+	if bytes >= BcastLargeThreshold && n > 2 {
 		c.scatterFromRoot(p, rank, root, bytes, tag)
-		c.Allgather(p, rank, bytes/float64(n))
+		c.allgatherWith(p, rank, bytes/float64(n), agTag)
 		return
 	}
-	tag := c.nextTag(rank)
 	vrank := (rank - root + n) % n
 	real := func(v int) int { return (v + root) % n }
 
@@ -103,11 +109,12 @@ func (c *Comm) Reduce(p *sim.Process, rank, root int, bytes float64) {
 	}
 }
 
-// allreduceLargeThreshold switches Allreduce from recursive doubling
+// AllreduceLargeThreshold switches Allreduce from recursive doubling
 // (which moves the full vector every round) to Rabenseifner's
 // reduce-scatter + allgather, whose volume stays near 2*bytes per rank —
-// the large-message algorithm production MPIs use.
-const allreduceLargeThreshold = 512 * 1024
+// the large-message algorithm production MPIs use. Exported for the
+// simcheck cost models.
+const AllreduceLargeThreshold = 512 * 1024
 
 // Allreduce combines bytes across all ranks and leaves the result
 // everywhere. Power-of-two communicators use recursive doubling for
@@ -124,7 +131,7 @@ func (c *Comm) Allreduce(p *sim.Process, rank int, bytes float64) {
 		return
 	}
 	tag := c.nextTag(rank)
-	if bytes >= allreduceLargeThreshold && n > 2 {
+	if bytes >= AllreduceLargeThreshold && n > 2 {
 		// Reduce-scatter by recursive halving: each round exchanges half
 		// of the remaining vector with the partner.
 		part := bytes / 2
@@ -160,7 +167,13 @@ func (c *Comm) Allgather(p *sim.Process, rank int, bytes float64) {
 	if n == 1 {
 		return
 	}
-	tag := c.nextTag(rank)
+	c.allgatherWith(p, rank, bytes, c.nextTag(rank))
+}
+
+// allgatherWith is the ring allgather on a caller-supplied tag, shared by
+// Allgather and the large-message Bcast (whose tag budget is fixed).
+func (c *Comm) allgatherWith(p *sim.Process, rank int, bytes float64, tag int) {
+	n := c.Size()
 	right := (rank + 1) % n
 	left := (rank - 1 + n) % n
 	for step := 0; step < n-1; step++ {

@@ -11,6 +11,7 @@ package mpi
 
 import (
 	"fmt"
+	"sort"
 
 	"clustersoc/internal/network"
 	"clustersoc/internal/sim"
@@ -22,6 +23,22 @@ const collTagBase = 1 << 20
 
 type key struct {
 	src, tag int
+}
+
+// inboxMsg is one eagerly delivered message that no receive has claimed
+// yet. The size rides along so receives that declare an expected size
+// (Sendrecv's recvBytes) can be validated against what the peer sent.
+type inboxMsg struct {
+	arrival float64
+	bytes   float64
+}
+
+// recvWaiter is a blocked receiver. expect is the byte count the receive
+// declared, or a negative value when it posted no expectation (plain
+// Recv carries no size).
+type recvWaiter struct {
+	p      *sim.Process
+	expect float64
 }
 
 // Recorder observes point-to-point traffic; internal/trace implements it
@@ -39,12 +56,20 @@ type Comm struct {
 	rankNode []int
 	rec      Recorder
 
-	boxes   []map[key][]float64      // per-rank inbox: arrival times, FIFO per (src,tag)
-	waiters []map[key][]*sim.Process // per-rank blocked receivers, FIFO
-	cseq    []int                    // per-rank collective sequence number
+	boxes   []map[key][]inboxMsg   // per-rank inbox: FIFO per (src,tag)
+	waiters []map[key][]recvWaiter // per-rank blocked receivers, FIFO
+	cseq    []int                  // per-rank collective sequence number
 
 	sentBytes []float64 // per-rank bytes passed to Send (incl. intra-node)
 	sentMsgs  []uint64
+	recvMsgs  []uint64 // per-rank completed receives
+
+	// checking enables the simcheck assertions that have a natural home
+	// at match time (declared receive sizes vs the peer's send size).
+	// Mismatches are collected, not panicked, so Audit can report every
+	// violation of a run with rank/tag/src diagnostics.
+	checking   bool
+	violations []string
 }
 
 // NewComm creates a communicator with one rank per entry of rankNode;
@@ -55,15 +80,16 @@ func NewComm(e *sim.Engine, nw *network.Network, rankNode []int) *Comm {
 		eng:       e,
 		nw:        nw,
 		rankNode:  append([]int(nil), rankNode...),
-		boxes:     make([]map[key][]float64, n),
-		waiters:   make([]map[key][]*sim.Process, n),
+		boxes:     make([]map[key][]inboxMsg, n),
+		waiters:   make([]map[key][]recvWaiter, n),
 		cseq:      make([]int, n),
 		sentBytes: make([]float64, n),
 		sentMsgs:  make([]uint64, n),
+		recvMsgs:  make([]uint64, n),
 	}
 	for i := range c.boxes {
-		c.boxes[i] = make(map[key][]float64)
-		c.waiters[i] = make(map[key][]*sim.Process)
+		c.boxes[i] = make(map[key][]inboxMsg)
+		c.waiters[i] = make(map[key][]recvWaiter)
 	}
 	return c
 }
@@ -83,6 +109,9 @@ func (c *Comm) SentBytes(rank int) float64 { return c.sentBytes[rank] }
 // Messages returns the number of messages rank has sent.
 func (c *Comm) Messages(rank int) uint64 { return c.sentMsgs[rank] }
 
+// Receives returns the number of messages rank has received.
+func (c *Comm) Receives(rank int) uint64 { return c.recvMsgs[rank] }
+
 func (c *Comm) check(rank int) {
 	if rank < 0 || rank >= len(c.rankNode) {
 		panic(fmt.Sprintf("mpi: rank %d out of range [0,%d)", rank, len(c.rankNode)))
@@ -91,6 +120,12 @@ func (c *Comm) check(rank int) {
 
 // SetRecorder attaches a trace recorder (nil to detach).
 func (c *Comm) SetRecorder(r Recorder) { c.rec = r }
+
+// SetChecking toggles match-time validation: receives that declare an
+// expected size (Sendrecv) are checked against the matched message's
+// actual size, and mismatches are collected for Audit. Checking never
+// changes message timing — it only observes matches.
+func (c *Comm) SetChecking(on bool) { c.checking = on }
 
 // Send transmits bytes from src to dst with a tag, blocking p (the process
 // running rank src) until the local NIC has drained the message.
@@ -109,9 +144,14 @@ func (c *Comm) Send(p *sim.Process, src, dst, tag int, bytes float64) {
 		} else {
 			c.waiters[dst][k] = ws[1:]
 		}
-		c.eng.ResumeAt(arrival, w)
+		if c.checking && w.expect >= 0 && w.expect != bytes {
+			c.violations = append(c.violations, fmt.Sprintf(
+				"rank %d expected %g bytes from rank %d (tag %d) but the sender delivered %g",
+				dst, w.expect, src, tag, bytes))
+		}
+		c.eng.ResumeAt(arrival, w.p)
 	} else {
-		c.boxes[dst][k] = append(c.boxes[dst][k], arrival)
+		c.boxes[dst][k] = append(c.boxes[dst][k], inboxMsg{arrival: arrival, bytes: bytes})
 	}
 	p.SleepUntil(senderFree)
 	if c.rec != nil {
@@ -122,31 +162,110 @@ func (c *Comm) Send(p *sim.Process, src, dst, tag int, bytes float64) {
 // Recv blocks p (the process running rank dst) until a message from src
 // with the tag has fully arrived.
 func (c *Comm) Recv(p *sim.Process, dst, src, tag int) {
+	c.recvExpect(p, dst, src, tag, -1)
+}
+
+// recvExpect is Recv with a declared payload size: expect >= 0 asserts
+// (under checking) that the matched message carries exactly that many
+// bytes, so an asymmetric-exchange miscount fails the audit loudly
+// instead of silently corrupting timings.
+func (c *Comm) recvExpect(p *sim.Process, dst, src, tag int, expect float64) {
 	c.check(src)
 	c.check(dst)
 	start := p.Now()
 	k := key{src, tag}
 	if q := c.boxes[dst][k]; len(q) > 0 {
-		arrival := q[0]
+		m := q[0]
 		if len(q) == 1 {
 			delete(c.boxes[dst], k)
 		} else {
 			c.boxes[dst][k] = q[1:]
 		}
-		p.SleepUntil(arrival)
+		if c.checking && expect >= 0 && expect != m.bytes {
+			c.violations = append(c.violations, fmt.Sprintf(
+				"rank %d expected %g bytes from rank %d (tag %d) but the sender delivered %g",
+				dst, expect, src, tag, m.bytes))
+		}
+		p.SleepUntil(m.arrival)
 	} else {
-		c.waiters[dst][k] = append(c.waiters[dst][k], p)
+		c.waiters[dst][k] = append(c.waiters[dst][k], recvWaiter{p: p, expect: expect})
 		p.Suspend()
 	}
+	c.recvMsgs[dst]++
 	if c.rec != nil {
 		c.rec.RecordRecv(dst, src, tag, start, p.Now())
 	}
 }
 
 // Sendrecv sends to dst and receives from src (both with the same tag), as
-// one deadlock-free exchange.
+// one deadlock-free exchange. recvBytes declares the expected size of the
+// incoming message; under checking a mismatch with the peer's actual send
+// size is reported by Audit.
 func (c *Comm) Sendrecv(p *sim.Process, me, dst, src, tag int, sendBytes, recvBytes float64) {
-	_ = recvBytes // size is carried by the sender's Deliver call
 	c.Send(p, me, dst, tag, sendBytes)
-	c.Recv(p, me, src, tag)
+	c.recvExpect(p, me, src, tag, recvBytes)
+}
+
+// Audit returns the communicator's invariant violations at the end of a
+// run, as human-readable diagnostics in deterministic order: declared
+// receive sizes that did not match the sender (collected under
+// SetChecking), send/receive message-count imbalance, messages left in
+// inboxes (sent but never received), receivers still suspended, and
+// collective tag sequences that diverged across ranks. An empty slice
+// means the communicator's schedule balanced exactly.
+func (c *Comm) Audit() []string {
+	out := append([]string(nil), c.violations...)
+	var sent, recvd uint64
+	for r := range c.rankNode {
+		sent += c.sentMsgs[r]
+		recvd += c.recvMsgs[r]
+	}
+	if sent != recvd {
+		out = append(out, fmt.Sprintf("message counts do not balance: %d sent vs %d received", sent, recvd))
+	}
+	sortedKeys := func(m map[key][]inboxMsg) []key {
+		ks := make([]key, 0, len(m))
+		for k := range m {
+			ks = append(ks, k)
+		}
+		sort.Slice(ks, func(i, j int) bool {
+			if ks[i].src != ks[j].src {
+				return ks[i].src < ks[j].src
+			}
+			return ks[i].tag < ks[j].tag
+		})
+		return ks
+	}
+	for r := range c.boxes {
+		for _, k := range sortedKeys(c.boxes[r]) {
+			out = append(out, fmt.Sprintf(
+				"rank %d inbox holds %d unreceived message(s) from rank %d with tag %d",
+				r, len(c.boxes[r][k]), k.src, k.tag))
+		}
+	}
+	for r := range c.waiters {
+		ks := make([]key, 0, len(c.waiters[r]))
+		for k := range c.waiters[r] {
+			ks = append(ks, k)
+		}
+		sort.Slice(ks, func(i, j int) bool {
+			if ks[i].src != ks[j].src {
+				return ks[i].src < ks[j].src
+			}
+			return ks[i].tag < ks[j].tag
+		})
+		for _, k := range ks {
+			out = append(out, fmt.Sprintf(
+				"rank %d still has %d receiver(s) suspended waiting on rank %d tag %d",
+				r, len(c.waiters[r][k]), k.src, k.tag))
+		}
+	}
+	for r := 1; r < len(c.cseq); r++ {
+		if c.cseq[r] != c.cseq[0] {
+			out = append(out, fmt.Sprintf(
+				"collective tag sequence diverged: rank %d consumed %d tags, rank 0 consumed %d",
+				r, c.cseq[r], c.cseq[0]))
+		}
+	}
+	return out
 }

@@ -56,7 +56,15 @@ type port struct {
 	free      float64
 	bytes     float64
 	busy      float64
-	queuedMax float64 // high-water mark of bytes pending behind the port (instrumented runs only)
+	queuedMax float64     // high-water mark of bytes queued behind the port (instrumented runs only)
+	pending   []queuedMsg // bookings not yet in service, pruned lazily (instrumented runs only)
+}
+
+// queuedMsg is one booking that had to wait behind the port: it enters
+// service at start and counts as backlog until then.
+type queuedMsg struct {
+	start float64
+	bytes float64
 }
 
 // Network is the interconnect for a set of nodes.
@@ -122,7 +130,7 @@ func (nw *Network) Deliver(src, dst int, bytes float64) (senderFree, arrival flo
 		lp.busy += svc
 		if nw.sizeHist != nil {
 			nw.sizeHist.Observe(bytes)
-			lp.markQueued(now, nw.memBW)
+			lp.markQueued(now, start, bytes)
 		}
 		return lp.free, lp.free + nw.memLat
 	}
@@ -138,18 +146,32 @@ func (nw *Network) Deliver(src, dst int, bytes float64) (senderFree, arrival flo
 	nw.fabric += bytes
 	if nw.sizeHist != nil {
 		nw.sizeHist.Observe(bytes)
-		t.markQueued(now, nw.prof.Throughput)
-		r.markQueued(now, nw.prof.Throughput)
+		t.markQueued(now, start, bytes)
+		r.markQueued(now, start, bytes)
 	}
 	return t.free, t.free + nw.prof.Latency
 }
 
-// markQueued updates the port's queued-bytes high-water mark: the bytes
-// still pending behind the port right after a booking, at the port's
-// drain rate.
-func (p *port) markQueued(now, rate float64) {
-	if q := (p.free - now) * rate; q > p.queuedMax {
-		p.queuedMax = q
+// markQueued updates the port's queued-bytes high-water mark right after
+// a booking that enters service at start. Backlog counts only bookings
+// still waiting for the port — the message currently in service (and
+// everything already drained) is not queued, so a booking on an idle
+// port records zero.
+func (p *port) markQueued(now, start, bytes float64) {
+	live, queued := p.pending[:0], 0.0
+	for _, m := range p.pending {
+		if m.start > now {
+			live = append(live, m)
+			queued += m.bytes
+		}
+	}
+	p.pending = live
+	if start > now {
+		p.pending = append(p.pending, queuedMsg{start: start, bytes: bytes})
+		queued += bytes
+	}
+	if queued > p.queuedMax {
+		p.queuedMax = queued
 	}
 }
 
@@ -174,6 +196,10 @@ func (nw *Network) TXBusy(node int) float64 { return nw.tx[node].busy }
 
 // RXBusy returns the accumulated busy seconds of a node's RX port.
 func (nw *Network) RXBusy(node int) float64 { return nw.rx[node].busy }
+
+// LoopBusy returns the accumulated busy seconds of a node's intra-node
+// shared-memory path.
+func (nw *Network) LoopBusy(node int) float64 { return nw.loop[node].busy }
 
 // Instrument attaches live observability to the network: every Deliver
 // observes the message size and updates per-port queued-bytes high-water

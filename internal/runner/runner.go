@@ -23,6 +23,7 @@ import (
 
 	"clustersoc/internal/cluster"
 	"clustersoc/internal/obs"
+	"clustersoc/internal/simcheck"
 	"clustersoc/internal/workloads"
 )
 
@@ -96,6 +97,10 @@ type Stats struct {
 	Hits int
 	// Simulated counts distinct scenarios actually executed.
 	Simulated int
+	// Audited counts executed scenarios that passed the simcheck
+	// physical-invariant audit (SetChecking). Memoization means each
+	// fingerprint is audited at most once per cache lifetime.
+	Audited int
 	// WallSeconds accumulates the host wall time of every executed
 	// simulation (worker-seconds: with N workers busy it advances N times
 	// faster than the clock on the wall).
@@ -120,12 +125,13 @@ type Runner struct {
 	workers int
 	sem     chan struct{}
 	// exec runs one scenario; tests substitute it to control timing.
-	exec func(s Scenario, profiled bool) (Result, error)
+	exec func(s Scenario, profiled, checked bool) (Result, error)
 
 	mu        sync.Mutex
 	cache     map[string]*entry
 	stats     Stats
 	profiling bool
+	checking  bool
 	inFlight  int
 }
 
@@ -145,12 +151,13 @@ func New(workers int) *Runner {
 }
 
 // defaultExec is the Runner's executor: Execute, or ExecuteProfiled when
-// the run-plane has profiling enabled.
-func defaultExec(s Scenario, profiled bool) (Result, error) {
+// the run-plane has profiling enabled, with the simcheck audit threaded
+// through when checking is enabled.
+func defaultExec(s Scenario, profiled, checked bool) (Result, error) {
 	if profiled {
-		return ExecuteProfiled(s)
+		return executeProfiled(s, checked)
 	}
-	return Execute(s)
+	return execute(s, nil, checked)
 }
 
 // Workers returns the worker-pool bound.
@@ -166,6 +173,20 @@ func (r *Runner) SetProfiling(on bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.profiling = on
+}
+
+// SetChecking toggles the simcheck physical-invariant audit for
+// subsequently executed scenarios: each simulation is validated after it
+// finishes (flow conservation at every port, send/receive balance in
+// every communicator, port-utilization sanity), and a violation fails
+// the scenario with the full diagnostic list. The audit is read-only and
+// post-run, so results stay byte-identical with checking on — a property
+// locked in by this package's determinism tests. Like SetProfiling it
+// applies per execution: scenarios already cached are not re-audited.
+func (r *Runner) SetChecking(on bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checking = on
 }
 
 // Profiles returns the profiles of every completed, successfully
@@ -216,17 +237,20 @@ func (r *Runner) Run(s Scenario) (Result, error) {
 
 	r.sem <- struct{}{} // acquire a worker slot
 	r.mu.Lock()
-	profiled := r.profiling
+	profiled, checked := r.profiling, r.checking
 	r.inFlight++
 	if r.inFlight > r.stats.MaxInFlight {
 		r.stats.MaxInFlight = r.inFlight
 	}
 	r.mu.Unlock()
 	start := time.Now()
-	e.res, e.err = r.exec(s, profiled)
+	e.res, e.err = r.exec(s, profiled, checked)
 	wall := time.Since(start).Seconds()
 	r.mu.Lock()
 	r.inFlight--
+	if checked && e.err == nil {
+		r.stats.Audited++
+	}
 	r.stats.WallSeconds += wall
 	r.mu.Unlock()
 	<-r.sem
@@ -260,11 +284,19 @@ func (r *Runner) RunAll(scenarios []Scenario) ([]Result, error) {
 	return results, nil
 }
 
-// Execute runs one scenario directly — no cache, no pool, no profiling.
-// It is the Runner's executor and the reference implementation the
-// determinism tests compare against.
+// Execute runs one scenario directly — no cache, no pool, no profiling,
+// no audit. It is the reference implementation the determinism tests
+// compare against.
 func Execute(s Scenario) (Result, error) {
-	return execute(s, nil)
+	return execute(s, nil, false)
+}
+
+// ExecuteChecked is Execute with the simcheck physical-invariant audit:
+// the finished simulation is validated and a violation fails the run
+// with the full diagnostic list. The Result is byte-identical to
+// Execute's — the audit only reads the finished cluster.
+func ExecuteChecked(s Scenario) (Result, error) {
+	return execute(s, nil, true)
 }
 
 // ExecuteProfiled is Execute with observability attached: the returned
@@ -272,9 +304,13 @@ func Execute(s Scenario) (Result, error) {
 // snapshot plus host wall time. The simulation itself is unchanged —
 // everything but the Profile field is byte-identical to Execute's.
 func ExecuteProfiled(s Scenario) (Result, error) {
+	return executeProfiled(s, false)
+}
+
+func executeProfiled(s Scenario, checked bool) (Result, error) {
 	reg := obs.NewRegistry()
 	start := time.Now()
-	res, err := execute(s, reg)
+	res, err := execute(s, reg, checked)
 	wall := time.Since(start).Seconds()
 	if err != nil {
 		return res, err
@@ -289,14 +325,19 @@ func ExecuteProfiled(s Scenario) (Result, error) {
 }
 
 // execute runs one scenario, attaching reg (may be nil) to the cluster
-// before any rank spawns.
-func execute(s Scenario, reg *obs.Registry) (Result, error) {
+// before any rank spawns. With checked, match-time validation is armed
+// before spawning and the finished run is audited against its physical
+// invariants; neither alters the simulation.
+func execute(s Scenario, reg *obs.Registry, checked bool) (Result, error) {
 	w, err := workloads.ByName(s.Workload)
 	if err != nil {
 		return Result{}, err
 	}
 	cl := cluster.New(s.Cluster)
 	cl.Instrument(reg)
+	if checked {
+		cl.EnableChecking()
+	}
 	jobs := []*cluster.Job{cl.Spawn(w.Body(s.Config))}
 	for _, j := range s.Colocated {
 		wj, err := workloads.ByName(j.Workload)
@@ -308,6 +349,11 @@ func execute(s Scenario, reg *obs.Registry) (Result, error) {
 	res := Result{Result: cl.Finish()}
 	for _, j := range jobs {
 		res.JobThroughputs = append(res.JobThroughputs, j.Throughput())
+	}
+	if checked {
+		if err := simcheck.Error(simcheck.AuditCluster(cl, res.Result)); err != nil {
+			return res, fmt.Errorf("scenario %q on %q failed its audit: %w", s.Workload, s.Cluster.Name, err)
+		}
 	}
 	return res, nil
 }

@@ -1,0 +1,203 @@
+package simcheck
+
+import (
+	"fmt"
+	"math/bits"
+
+	"clustersoc/internal/mpi"
+	"clustersoc/internal/network"
+	"clustersoc/internal/sim"
+)
+
+// CollectiveOp names one collective algorithm of internal/mpi.
+type CollectiveOp string
+
+const (
+	Bcast     CollectiveOp = "bcast"
+	Reduce    CollectiveOp = "reduce"
+	Allreduce CollectiveOp = "allreduce"
+	Allgather CollectiveOp = "allgather"
+	Alltoall  CollectiveOp = "alltoall"
+	Gather    CollectiveOp = "gather"
+)
+
+// Ops lists every banded collective, in a fixed order.
+var Ops = []CollectiveOp{Bcast, Reduce, Allreduce, Allgather, Alltoall, Gather}
+
+// Band is an analytic [Lower, Upper] window (seconds) that a collective's
+// simulated makespan must fall inside.
+type Band struct {
+	Lower, Upper float64
+}
+
+// Contains reports whether t falls inside the band, allowing relative
+// floating-point slack (several bands are exact: Lower == Upper).
+func (b Band) Contains(t float64) bool {
+	return t >= b.Lower*(1-relTol)-1e-12 && t <= b.Upper*(1+relTol)+1e-12
+}
+
+// ceilLog2 returns ceil(log2 n) for n >= 1 — the round count of the
+// binomial and recursive-doubling algorithms.
+func ceilLog2(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// CollectiveBand returns the alpha-beta cost window for one collective on
+// n single-rank nodes of the given NIC profile, mirroring the algorithm
+// selection internal/mpi performs (binomial vs van de Geijn broadcast,
+// recursive doubling vs Rabenseifner vs reduce+broadcast allreduce).
+//
+// The bands assume the crossbar model of internal/network: a message of b
+// bytes occupies its TX and RX ports for svc(b) = b/Throughput seconds
+// and arrives Latency seconds after service completes, fan-out
+// serializing at the sender and fan-in at the receiver. With alpha the
+// latency, svc the service time, r = ceil(log2 n) and all ranks entering
+// at the same instant:
+//
+//	binomial bcast/reduce   root moves r serialized messages, the deepest
+//	                        chain interleaves r services and hops:
+//	                        [r*svc + alpha, r*(svc+alpha)]  (exact upper
+//	                        for powers of two)
+//	van de Geijn bcast      scatter (~svc(b)) + ring allgather (~svc(b));
+//	                        a leaf receives b bytes through one RX port:
+//	                        [svc(b) + alpha, 3*svc(b) + (n+r)*alpha]
+//	recursive doubling      r synchronized full-size exchange rounds:
+//	                        exactly r*(svc+alpha)
+//	Rabenseifner            halving then doubling rounds moving
+//	                        2b(1-1/n) per rank: exactly
+//	                        2*svc(b)*(1-1/n) + 2r*alpha
+//	ring allgather          n-1 synchronized rounds: exactly
+//	                        (n-1)*(svc+alpha)
+//	pairwise alltoall       n-1 balanced rounds: exactly (n-1)*(svc+alpha)
+//	direct gather           n-1 sends serialized at root's RX port:
+//	                        exactly (n-1)*svc + alpha
+//
+// Exact entries still carry a non-trivial window on the lower side where
+// the algorithm's synchronization could only be broken by a bug that
+// loses traffic (which flow conservation catches first).
+func CollectiveBand(op CollectiveOp, n int, bytes float64, prof network.Profile) Band {
+	if n <= 1 {
+		return Band{0, 0}
+	}
+	svc := bytes / prof.Throughput
+	alpha := prof.Latency
+	r := float64(ceilLog2(n))
+	rounds := float64(n - 1)
+	switch op {
+	case Bcast:
+		return bcastBand(n, bytes, prof)
+	case Reduce:
+		return Band{Lower: r*svc + alpha, Upper: r * (svc + alpha)}
+	case Allreduce:
+		if n&(n-1) != 0 {
+			red := CollectiveBand(Reduce, n, bytes, prof)
+			bc := bcastBand(n, bytes, prof)
+			return Band{Lower: red.Lower + bc.Lower, Upper: red.Upper + bc.Upper}
+		}
+		if bytes >= mpi.AllreduceLargeThreshold && n > 2 {
+			exact := 2*svc*(1-1/float64(n)) + 2*r*alpha
+			return Band{Lower: 2*svc*(1-1/float64(n)) + alpha, Upper: exact}
+		}
+		return Band{Lower: r*svc + alpha, Upper: r * (svc + alpha)}
+	case Allgather, Alltoall:
+		return Band{Lower: rounds*svc + alpha, Upper: rounds * (svc + alpha)}
+	case Gather:
+		exact := rounds*svc + alpha
+		return Band{Lower: exact, Upper: exact}
+	}
+	panic(fmt.Sprintf("simcheck: unknown collective %q", op))
+}
+
+// bcastBand mirrors Bcast's algorithm selection; Allreduce's non-power-
+// of-two fallback composes it with the reduce band.
+func bcastBand(n int, bytes float64, prof network.Profile) Band {
+	svc := bytes / prof.Throughput
+	alpha := prof.Latency
+	r := float64(ceilLog2(n))
+	if bytes >= mpi.BcastLargeThreshold && n > 2 {
+		return Band{
+			Lower: svc + alpha,
+			Upper: 3*svc + (float64(n)+r)*alpha,
+		}
+	}
+	return Band{Lower: r*svc + alpha, Upper: r * (svc + alpha)}
+}
+
+// MeasureCollective simulates one collective in isolation — n ranks, one
+// per node, entering the operation at time zero on an otherwise idle
+// network — and returns its makespan. This is the harness the band tests
+// and AuditCollectives drive.
+func MeasureCollective(op CollectiveOp, n int, bytes float64, prof network.Profile) float64 {
+	e := sim.NewEngine()
+	nw := network.New(e, n, prof)
+	rankNode := make([]int, n)
+	for i := range rankNode {
+		rankNode[i] = i
+	}
+	c := mpi.NewComm(e, nw, rankNode)
+	for rank := 0; rank < n; rank++ {
+		rank := rank
+		e.Spawn(fmt.Sprintf("rank%d", rank), func(p *sim.Process) {
+			runCollective(c, p, rank, op, bytes)
+		})
+	}
+	return e.Run()
+}
+
+func runCollective(c *mpi.Comm, p *sim.Process, rank int, op CollectiveOp, bytes float64) {
+	switch op {
+	case Bcast:
+		c.Bcast(p, rank, 0, bytes)
+	case Reduce:
+		c.Reduce(p, rank, 0, bytes)
+	case Allreduce:
+		c.Allreduce(p, rank, bytes)
+	case Allgather:
+		c.Allgather(p, rank, bytes)
+	case Alltoall:
+		c.Alltoall(p, rank, bytes)
+	case Gather:
+		c.Gather(p, rank, 0, bytes)
+	default:
+		panic(fmt.Sprintf("simcheck: unknown collective %q", op))
+	}
+}
+
+// auditSizes spans both algorithm regimes: 8 KiB keeps every collective
+// on its small-message path, 1 MiB crosses both the broadcast (256 KiB)
+// and allreduce (512 KiB) thresholds.
+var auditSizes = []float64{8 * 1024, 1 << 20}
+
+// auditNs covers powers of two (where the algorithms are exact) and odd
+// communicator sizes (where the fallback compositions kick in).
+var auditNs = []int{2, 3, 4, 5, 8}
+
+// AuditCollectives cross-checks every collective algorithm against its
+// analytic alpha-beta band over a matrix of communicator sizes, payload
+// sizes (both sides of the large-message thresholds), and both NIC
+// profiles. An empty result means every simulated makespan fell inside
+// its window.
+func AuditCollectives() []Violation {
+	var vs []Violation
+	for _, prof := range []network.Profile{network.GigE, network.TenGigE} {
+		for _, op := range Ops {
+			for _, n := range auditNs {
+				for _, bytes := range auditSizes {
+					band := CollectiveBand(op, n, bytes, prof)
+					got := MeasureCollective(op, n, bytes, prof)
+					if !band.Contains(got) {
+						vs = append(vs, Violation{
+							Rule: "collective-cost",
+							Detail: fmt.Sprintf("%s n=%d %gB over %s took %gs, outside the analytic band [%g, %g]",
+								op, n, bytes, prof.Name, got, band.Lower, band.Upper),
+						})
+					}
+				}
+			}
+		}
+	}
+	return vs
+}

@@ -1,0 +1,89 @@
+package simcheck_test
+
+import (
+	"testing"
+
+	"clustersoc/internal/network"
+	"clustersoc/internal/simcheck"
+)
+
+// bandNs spans powers of two (exact algorithms) and odd sizes (fallback
+// compositions); bandSizes spans both sides of the 256 KiB broadcast and
+// 512 KiB allreduce thresholds.
+var (
+	bandNs    = []int{2, 3, 4, 5, 7, 8, 16}
+	bandSizes = []float64{1024, 64 * 1024, 1 << 20, 4 << 20}
+	bandProfs = []network.Profile{network.GigE, network.TenGigE}
+)
+
+// TestCollectiveDurationsInsideAnalyticBands is the alpha-beta
+// cross-check matrix: every collective algorithm, at every communicator
+// size, payload regime, and NIC profile, must complete inside its
+// closed-form cost window.
+func TestCollectiveDurationsInsideAnalyticBands(t *testing.T) {
+	for _, prof := range bandProfs {
+		for _, op := range simcheck.Ops {
+			for _, n := range bandNs {
+				for _, bytes := range bandSizes {
+					band := simcheck.CollectiveBand(op, n, bytes, prof)
+					if band.Lower > band.Upper {
+						t.Fatalf("%s n=%d %gB %s: inverted band [%g, %g]",
+							op, n, bytes, prof.Name, band.Lower, band.Upper)
+					}
+					got := simcheck.MeasureCollective(op, n, bytes, prof)
+					if got <= 0 {
+						t.Fatalf("%s n=%d %gB %s: makespan %g, want > 0", op, n, bytes, prof.Name, got)
+					}
+					if !band.Contains(got) {
+						t.Errorf("%s n=%d %gB %s: took %gs, outside [%g, %g]",
+							op, n, bytes, prof.Name, got, band.Lower, band.Upper)
+					}
+				}
+			}
+		}
+	}
+}
+
+// The trivial communicator costs nothing, and its band says so.
+func TestCollectiveBandSingleRank(t *testing.T) {
+	for _, op := range simcheck.Ops {
+		band := simcheck.CollectiveBand(op, 1, 1<<20, network.GigE)
+		if band.Lower != 0 || band.Upper != 0 {
+			t.Fatalf("%s n=1: band [%g, %g], want [0, 0]", op, band.Lower, band.Upper)
+		}
+		if got := simcheck.MeasureCollective(op, 1, 1<<20, network.GigE); got != 0 {
+			t.Fatalf("%s n=1: makespan %g, want 0", op, got)
+		}
+	}
+}
+
+// AuditCollectives is the same matrix packaged as an audit: on a correct
+// simulator it returns nothing.
+func TestAuditCollectivesClean(t *testing.T) {
+	if vs := simcheck.AuditCollectives(); len(vs) != 0 {
+		for _, v := range vs {
+			t.Error(v)
+		}
+	}
+}
+
+// Metamorphic property: the ideal network lower-bounds both real NIC
+// profiles for every collective, and 10 GbE never loses to 1 GbE.
+func TestIdealNetworkLowerBoundsCollectives(t *testing.T) {
+	for _, op := range simcheck.Ops {
+		for _, n := range []int{2, 5, 8} {
+			for _, bytes := range []float64{8 * 1024, 1 << 20} {
+				ideal := simcheck.MeasureCollective(op, n, bytes, network.Ideal)
+				ten := simcheck.MeasureCollective(op, n, bytes, network.TenGigE)
+				gig := simcheck.MeasureCollective(op, n, bytes, network.GigE)
+				if ideal > ten || ideal > gig {
+					t.Errorf("%s n=%d %gB: ideal %g exceeds a real NIC (10GbE %g, 1GbE %g)",
+						op, n, bytes, ideal, ten, gig)
+				}
+				if ten > gig {
+					t.Errorf("%s n=%d %gB: 10GbE (%g) slower than 1GbE (%g)", op, n, bytes, ten, gig)
+				}
+			}
+		}
+	}
+}

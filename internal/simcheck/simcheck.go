@@ -1,0 +1,144 @@
+// Package simcheck is the simulator's physical-invariant validation
+// layer. The real testbed pushes back when a model is wrong — a switch
+// cannot deliver bytes nobody sent, a port cannot be busier than the run
+// is long — but the simulator has no physics of its own, so a bug in a
+// collective schedule or a port-queueing path silently corrupts every
+// downstream figure. simcheck restores the push-back: it audits finished
+// simulations against conservation laws (flow balance at every port,
+// send/receive matching in every communicator) and closed-form
+// alpha-beta cost models for every collective algorithm.
+//
+// The audit is read-only and runs after the simulation completes, so
+// enabling it never changes a result byte — a property locked in by
+// regression tests in internal/runner and internal/experiments. The
+// run-plane (internal/runner) audits every memoized scenario once per
+// fingerprint when checking is enabled, and cmd/experiments -check /
+// cmd/replay -check expose it on the command line.
+package simcheck
+
+import (
+	"fmt"
+	"strings"
+
+	"clustersoc/internal/cluster"
+)
+
+// relTol is the relative slack allowed on floating-point conservation
+// comparisons: sums accumulated in different orders may disagree in the
+// last bits, never by more.
+const relTol = 1e-9
+
+// Violation is one broken invariant: the rule that failed and a
+// human-readable diagnostic naming the offending entity (node, rank,
+// tag, ...).
+type Violation struct {
+	Rule   string
+	Detail string
+}
+
+func (v Violation) String() string { return v.Rule + ": " + v.Detail }
+
+// Error folds violations into a single error, or nil when the audit
+// passed.
+func Error(vs []Violation) error {
+	if len(vs) == 0 {
+		return nil
+	}
+	lines := make([]string, len(vs))
+	for i, v := range vs {
+		lines[i] = "  " + v.String()
+	}
+	return fmt.Errorf("simcheck: %d invariant violation(s):\n%s", len(vs), strings.Join(lines, "\n"))
+}
+
+// approxEqual reports a ~ b within relative tolerance (and a small absolute
+// floor for values near zero).
+func approxEqual(a, b float64) bool {
+	diff := a - b
+	if diff < 0 {
+		diff = -diff
+	}
+	scale := a
+	if b > scale {
+		scale = b
+	}
+	return diff <= relTol*scale+1e-6
+}
+
+// AuditCluster validates a finished cluster run against its conservation
+// laws:
+//
+//   - flow conservation at the switch: total bytes transmitted equals
+//     total bytes received equals the fabric counter, and everything the
+//     communicators sent (plus file-server reads) is accounted for on a
+//     TX port or the intra-node path;
+//   - port utilization: no TX, RX, or intra-node path was busy for
+//     longer than the run's makespan;
+//   - schedule hygiene in every communicator: send and receive counts
+//     balance, inboxes are empty, no receiver is left suspended, the
+//     collective tag sequence stayed in lockstep, and every declared
+//     receive size matched its sender (collected under EnableChecking);
+//   - engine hygiene: no negative or NaN delays were clamped.
+//
+// The returned slice is empty when every invariant holds; its order is
+// deterministic.
+func AuditCluster(cl *cluster.Cluster, res cluster.Result) []Violation {
+	var vs []Violation
+	add := func(rule, format string, args ...any) {
+		vs = append(vs, Violation{Rule: rule, Detail: fmt.Sprintf(format, args...)})
+	}
+
+	nw := cl.Net
+	var tx, rx, loop float64
+	for i := 0; i < nw.Nodes(); i++ {
+		tx += nw.BytesSent(i)
+		rx += nw.BytesReceived(i)
+		loop += nw.IntraNodeBytes(i)
+	}
+	if !approxEqual(tx, rx) {
+		add("flow-conservation", "nodes transmitted %g B over the wire but received %g B", tx, rx)
+	}
+	if !approxEqual(tx, nw.FabricBytes()) {
+		add("flow-conservation", "TX ports carried %g B but the fabric counter says %g B", tx, nw.FabricBytes())
+	}
+
+	for i := 0; i < nw.Nodes(); i++ {
+		for _, p := range []struct {
+			kind string
+			busy float64
+		}{
+			{"TX", nw.TXBusy(i)},
+			{"RX", nw.RXBusy(i)},
+			{"intra-node", nw.LoopBusy(i)},
+		} {
+			if p.busy > res.Runtime*(1+relTol)+1e-9 {
+				add("port-utilization", "node %d %s path busy for %g s of a %g s run", i, p.kind, p.busy, res.Runtime)
+			}
+		}
+	}
+
+	var commSent float64
+	for ci, c := range cl.Comms() {
+		for _, d := range c.Audit() {
+			add("mpi-schedule", "comm %d: %s", ci, d)
+		}
+		for r := 0; r < c.Size(); r++ {
+			commSent += c.SentBytes(r)
+		}
+	}
+	served := 0.0
+	if cl.Cfg.FileServer {
+		// The file server holds the last switch port and only ever sends.
+		served = nw.BytesSent(cl.Cfg.Nodes)
+	}
+	if !approxEqual(commSent+served, tx+loop) {
+		add("flow-conservation",
+			"communicators sent %g B and the file server %g B, but the network carried %g B (wire) + %g B (intra-node)",
+			commSent, served, tx, loop)
+	}
+
+	if neg, nan := cl.Eng.ClampedDelays(); neg+nan > 0 {
+		add("engine-hygiene", "%d negative and %d NaN event delays were clamped to zero — a model emitted invalid delays", neg, nan)
+	}
+	return vs
+}

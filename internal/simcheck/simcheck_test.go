@@ -1,0 +1,107 @@
+package simcheck_test
+
+import (
+	"strings"
+	"testing"
+
+	"clustersoc/internal/cluster"
+	"clustersoc/internal/network"
+	"clustersoc/internal/simcheck"
+	"clustersoc/internal/soc"
+	"clustersoc/internal/units"
+)
+
+// cpuCluster builds a small checked CPU-only cluster for audit tests.
+func cpuCluster(nodes, ranksPerNode int, prof network.Profile) *cluster.Cluster {
+	cfg := cluster.Config{
+		Name:         "audit-test",
+		Nodes:        nodes,
+		NodeType:     soc.JetsonTX1(),
+		Network:      prof,
+		RanksPerNode: ranksPerNode,
+	}
+	cl := cluster.New(cfg)
+	cl.EnableChecking()
+	return cl
+}
+
+// A balanced run — collectives, point-to-point, compute — audits clean.
+func TestAuditClusterCleanRun(t *testing.T) {
+	cl := cpuCluster(4, 1, network.TenGigE)
+	res := cl.Run(func(ctx *cluster.Context) {
+		ctx.Compute(soc.CPUWork{Instr: 2e6, Flops: 1e6, Bytes: 1e5})
+		ctx.Allreduce(100 * units.KB)
+		ctx.Alltoall(10 * units.KB)
+		if ctx.Rank == 0 {
+			ctx.Send(1, 7, 5000)
+		}
+		if ctx.Rank == 1 {
+			ctx.Recv(0, 7)
+		}
+		ctx.Bcast(2, 1*units.MB)
+	})
+	if vs := simcheck.AuditCluster(cl, res); len(vs) != 0 {
+		for _, v := range vs {
+			t.Error(v)
+		}
+	}
+}
+
+// Multi-rank nodes route intra-node traffic over the memory path; the
+// conservation identity must account for both planes.
+func TestAuditClusterIntraNodeTraffic(t *testing.T) {
+	cl := cpuCluster(2, 2, network.GigE)
+	res := cl.Run(func(ctx *cluster.Context) {
+		ctx.Allreduce(64 * units.KB) // mixes wire and shared-memory hops
+		ctx.Barrier()
+	})
+	if vs := simcheck.AuditCluster(cl, res); len(vs) != 0 {
+		for _, v := range vs {
+			t.Error(v)
+		}
+	}
+}
+
+// A schedule that loses a message must fail the audit with the mpi
+// diagnostics attached.
+func TestAuditClusterFlagsLostMessage(t *testing.T) {
+	cl := cpuCluster(2, 1, network.TenGigE)
+	res := cl.Run(func(ctx *cluster.Context) {
+		if ctx.Rank == 0 {
+			ctx.Send(1, 3, 1000) // nobody receives this
+		}
+	})
+	vs := simcheck.AuditCluster(cl, res)
+	if len(vs) == 0 {
+		t.Fatal("lost message passed the audit")
+	}
+	err := simcheck.Error(vs)
+	if !strings.Contains(err.Error(), "mpi-schedule") || !strings.Contains(err.Error(), "tag 3") {
+		t.Fatalf("diagnostics missing rule/tag context: %v", err)
+	}
+}
+
+// Error folds nothing into nil.
+func TestErrorNilOnClean(t *testing.T) {
+	if err := simcheck.Error(nil); err != nil {
+		t.Fatalf("Error(nil) = %v", err)
+	}
+}
+
+// An asymmetric Sendrecv — the bug class the Sendrecv fix targets — is
+// caught end-to-end through the cluster audit.
+func TestAuditClusterFlagsSendrecvMismatch(t *testing.T) {
+	cl := cpuCluster(2, 1, network.TenGigE)
+	res := cl.Run(func(ctx *cluster.Context) {
+		peer := 1 - ctx.Rank
+		send := 1000.0
+		if ctx.Rank == 1 {
+			send = 3000 // rank 0 declared 1000 below
+		}
+		ctx.Sendrecv(peer, peer, 5, send, 1000)
+	})
+	err := simcheck.Error(simcheck.AuditCluster(cl, res))
+	if err == nil || !strings.Contains(err.Error(), "expected 1000 bytes") {
+		t.Fatalf("size mismatch not reported: %v", err)
+	}
+}

@@ -1,0 +1,86 @@
+package simcheck
+
+import (
+	"fmt"
+	"sort"
+
+	"clustersoc/internal/trace"
+)
+
+// AuditTrace validates a recorded execution trace against the invariants
+// any real Extrae capture would satisfy:
+//
+//   - every operation has Start <= End, starts at or after time zero, and
+//     ends at or before the recorded runtime;
+//   - each rank's operations appear in non-decreasing start order (ranks
+//     are single-threaded blocking processes);
+//   - point-to-point traffic balances: for every (sender, receiver, tag)
+//     triple, the number of recorded sends equals the number of recorded
+//     receives.
+//
+// cmd/replay -check runs this before re-timing a trace, so a corrupt or
+// hand-edited input fails loudly instead of replaying into nonsense.
+func AuditTrace(t *trace.Trace) []Violation {
+	var vs []Violation
+	add := func(rule, format string, args ...any) {
+		vs = append(vs, Violation{Rule: rule, Detail: fmt.Sprintf(format, args...)})
+	}
+
+	type flow struct{ src, dst, tag int }
+	sends := map[flow]int{}
+	recvs := map[flow]int{}
+
+	for _, r := range t.Ranks {
+		prev := 0.0
+		for i, op := range r.Ops {
+			if op.Start > op.End {
+				add("trace-timing", "rank %d op %d starts at %g after it ends at %g", r.Rank, i, op.Start, op.End)
+			}
+			if op.Start < 0 {
+				add("trace-timing", "rank %d op %d starts at %g, before the run began", r.Rank, i, op.Start)
+			}
+			if op.End > t.Runtime*(1+relTol)+1e-9 {
+				add("trace-timing", "rank %d op %d ends at %g, after the recorded runtime %g", r.Rank, i, op.End, t.Runtime)
+			}
+			if op.Start < prev {
+				add("trace-ordering", "rank %d op %d starts at %g, before its predecessor's start %g", r.Rank, i, op.Start, prev)
+			}
+			prev = op.Start
+			switch op.Kind {
+			case trace.OpSend:
+				sends[flow{r.Rank, op.Peer, op.Tag}]++
+			case trace.OpRecv:
+				recvs[flow{op.Peer, r.Rank, op.Tag}]++
+			}
+		}
+	}
+
+	flows := make(map[flow]bool, len(sends)+len(recvs))
+	for f := range sends {
+		flows[f] = true
+	}
+	for f := range recvs {
+		flows[f] = true
+	}
+	ordered := make([]flow, 0, len(flows))
+	for f := range flows {
+		ordered = append(ordered, f)
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		a, b := ordered[i], ordered[j]
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		if a.dst != b.dst {
+			return a.dst < b.dst
+		}
+		return a.tag < b.tag
+	})
+	for _, f := range ordered {
+		if s, r := sends[f], recvs[f]; s != r {
+			add("trace-matching", "rank %d recorded %d send(s) to rank %d with tag %d but %d receive(s) matched",
+				f.src, s, f.dst, f.tag, r)
+		}
+	}
+	return vs
+}
