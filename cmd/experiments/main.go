@@ -14,12 +14,11 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
 	"os"
-	"sort"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"clustersoc/internal/experiments"
@@ -46,8 +45,45 @@ func main() {
 		check    = flag.Bool("check", false, "audit every simulated scenario with simcheck (flow conservation, MPI schedule balance, port utilization) and cross-check the collective cost models; violations fail the run")
 		profile  = flag.Bool("profile", false, "collect per-scenario observability profiles: writes a *.profile.json sidecar and a merged metrics summary on stderr")
 		traceOut = flag.String("trace-out", "", "write a Chrome/Perfetto trace of a representative run (hpl @ 8 nodes, 10GbE) to this file")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the regeneration to this file (host profiling of the simulator itself; written on clean completion)")
+		memProf  = flag.String("memprofile", "", "write a pprof heap profile at exit to this file (written on clean completion)")
 	)
 	flag.Parse()
+
+	// Host-side pprof of the simulator itself — the engine's allocation
+	// and event-loop cost is what these catch; the simulated metrics go
+	// through -profile instead. Both are written only when the run exits
+	// cleanly (error paths os.Exit past the defers).
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}()
+	}
 
 	o := experiments.DefaultOptions()
 	o.Scale = *scale
@@ -250,7 +286,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		if err := writeArtifacts(f, artifacts); err != nil {
+		if err := experiments.WriteArtifactsJSON(f, artifacts); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -350,45 +386,6 @@ func writeChromeTrace(o experiments.Options, path string) {
 		os.Exit(1)
 	}
 	fmt.Printf("\nwrote Chrome trace of %s to %s (open in chrome://tracing or ui.perfetto.dev)\n", sc.Cluster.Name, path)
-}
-
-// writeArtifacts emits the artifact map with keys in sorted order, one
-// top-level entry at a time. The bytes are identical to encoding the
-// whole map with a json.Encoder at two-space indent (Go's map encoding
-// sorts keys too) — the explicit ordering just makes the contract
-// visible and independent of the container type.
-func writeArtifacts(w io.Writer, artifacts map[string]any) error {
-	keys := make([]string, 0, len(artifacts))
-	for k := range artifacts {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	if len(keys) == 0 {
-		_, err := io.WriteString(w, "{}\n")
-		return err
-	}
-	if _, err := io.WriteString(w, "{\n"); err != nil {
-		return err
-	}
-	for i, k := range keys {
-		kb, err := json.Marshal(k)
-		if err != nil {
-			return err
-		}
-		vb, err := json.MarshalIndent(artifacts[k], "  ", "  ")
-		if err != nil {
-			return err
-		}
-		sep := ",\n"
-		if i == len(keys)-1 {
-			sep = "\n"
-		}
-		if _, err := fmt.Fprintf(w, "  %s: %s%s", kb, vb, sep); err != nil {
-			return err
-		}
-	}
-	_, err := io.WriteString(w, "}\n")
-	return err
 }
 
 // scalingChart draws the measured speedup curves of a scalability study.

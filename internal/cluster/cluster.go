@@ -291,6 +291,7 @@ func (cl *Cluster) Finish() Result {
 		Ranks:   cl.Ranks(),
 		Runtime: runtime,
 		FLOPs:   cl.flops,
+		Events:  cl.Eng.Events(),
 	}
 	for _, n := range cl.Nodes {
 		n.Meter.AddCPU(n.cpuBusy)
@@ -401,6 +402,13 @@ type Result struct {
 	GPUBusySeconds float64
 
 	UnhaltedCPUCyclesPerSec float64
+
+	// Events is the number of simulation events the engine processed to
+	// produce this run — the denominator of the simulator's events/s
+	// throughput metric. A property of the simulator, not the modeled
+	// system, so it stays out of JSON artifacts (like Profile on
+	// runner.Result).
+	Events uint64 `json:"-"`
 
 	PMU   perf.PMU
 	GPU   perf.GPUMetrics

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Artifacts regenerates every Options-driven artifact of the evaluation
+// and returns them under the same keys cmd/experiments uses for its -json
+// output. Sharing one generator list between the CLI and the golden
+// regression test keeps "the artifacts" a single well-defined set: any
+// change to simulation results shows up as a golden diff.
+func Artifacts(o Options) map[string]any {
+	return map[string]any{
+		"fig1_fig2":   Fig1(o),
+		"fig3":        Fig3(o),
+		"table2_fig4": Table2(o),
+		"fig5":        Fig5(o),
+		"fig6":        Fig6(o),
+		"table3":      Table3(o),
+		"fig7":        Fig7(o),
+		"table4":      Table4(o),
+		"table6_fig8": Table6(o),
+		"fig9":        Fig9(o),
+		"fig10":       Fig10(o),
+		"related":     RelatedWorkCompare(o),
+		"weak":        WeakScaling(o),
+	}
+}
+
+// WriteArtifactsJSON emits the artifact map with keys in sorted order,
+// one top-level entry at a time. The bytes are identical to encoding the
+// whole map with a json.Encoder at two-space indent (Go's map encoding
+// sorts keys too) — the explicit ordering just makes the contract visible
+// and independent of the container type.
+func WriteArtifactsJSON(w io.Writer, artifacts map[string]any) error {
+	keys := make([]string, 0, len(artifacts))
+	for k := range artifacts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if len(keys) == 0 {
+		_, err := io.WriteString(w, "{}\n")
+		return err
+	}
+	if _, err := io.WriteString(w, "{\n"); err != nil {
+		return err
+	}
+	for i, k := range keys {
+		kb, err := json.Marshal(k)
+		if err != nil {
+			return err
+		}
+		vb, err := json.MarshalIndent(artifacts[k], "  ", "  ")
+		if err != nil {
+			return err
+		}
+		sep := ",\n"
+		if i == len(keys)-1 {
+			sep = "\n"
+		}
+		if _, err := fmt.Fprintf(w, "  %s: %s%s", kb, vb, sep); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "}\n")
+	return err
+}

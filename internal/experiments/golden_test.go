@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"clustersoc/internal/runner"
+)
+
+// TestArtifactsByteIdenticalToGolden regenerates the full cmd/experiments
+// artifact set and requires the JSON encoding to be byte-identical to the
+// checked-in golden file, which was captured from the seed engine. This is
+// the regression net under every engine/perf PR: optimizations must not
+// move a single simulated number. Refresh deliberately with
+// UPDATE_GOLDEN=1 go test ./internal/experiments -run Golden
+// after a change that intentionally alters results.
+func TestArtifactsByteIdenticalToGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates every artifact")
+	}
+	o := DefaultOptions()
+	o.Scale = 0.04
+	o.Runner = runner.New(4)
+
+	var got bytes.Buffer
+	if err := WriteArtifactsJSON(&got, Artifacts(o)); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "artifacts-scale0.04.golden.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, got.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, got.Len())
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		// Find the first divergent line for a usable failure message.
+		gl := bytes.Split(got.Bytes(), []byte("\n"))
+		wl := bytes.Split(want, []byte("\n"))
+		for i := 0; i < len(gl) && i < len(wl); i++ {
+			if !bytes.Equal(gl[i], wl[i]) {
+				t.Fatalf("artifact JSON diverges from golden at line %d:\n got: %s\nwant: %s",
+					i+1, gl[i], wl[i])
+			}
+		}
+		t.Fatalf("artifact JSON length changed: got %d bytes, golden %d", got.Len(), len(want))
+	}
+}

@@ -60,6 +60,16 @@ type Comm struct {
 	waiters []map[key][]recvWaiter // per-rank blocked receivers, FIFO
 	cseq    []int                  // per-rank collective sequence number
 
+	// spareBox/spareWaiters recycle the backing arrays of drained
+	// inbox/waiter queues. Collective tags are fresh every round, so
+	// drained keys are deleted (the maps stay small) — but without
+	// recycling, every enqueue on a new key allocates a one-entry slice,
+	// which is most of the simulator's steady-state garbage on
+	// communication-heavy runs. Stacks, because several queues can be
+	// in flight per rank at once (wide collectives).
+	spareBox     [][]inboxMsg
+	spareWaiters [][]recvWaiter
+
 	sentBytes []float64 // per-rank bytes passed to Send (incl. intra-node)
 	sentMsgs  []uint64
 	recvMsgs  []uint64 // per-rank completed receives
@@ -80,9 +90,9 @@ func NewComm(e *sim.Engine, nw *network.Network, rankNode []int) *Comm {
 		eng:       e,
 		nw:        nw,
 		rankNode:  append([]int(nil), rankNode...),
-		boxes:     make([]map[key][]inboxMsg, n),
-		waiters:   make([]map[key][]recvWaiter, n),
-		cseq:      make([]int, n),
+		boxes:   make([]map[key][]inboxMsg, n),
+		waiters: make([]map[key][]recvWaiter, n),
+		cseq:    make([]int, n),
 		sentBytes: make([]float64, n),
 		sentMsgs:  make([]uint64, n),
 		recvMsgs:  make([]uint64, n),
@@ -141,6 +151,8 @@ func (c *Comm) Send(p *sim.Process, src, dst, tag int, bytes float64) {
 		w := ws[0]
 		if len(ws) == 1 {
 			delete(c.waiters[dst], k)
+			ws[0] = recvWaiter{} // don't pin the process via the spare
+			c.spareWaiters = append(c.spareWaiters, ws[:0])
 		} else {
 			c.waiters[dst][k] = ws[1:]
 		}
@@ -151,7 +163,13 @@ func (c *Comm) Send(p *sim.Process, src, dst, tag int, bytes float64) {
 		}
 		c.eng.ResumeAt(arrival, w.p)
 	} else {
-		c.boxes[dst][k] = append(c.boxes[dst][k], inboxMsg{arrival: arrival, bytes: bytes})
+		q := c.boxes[dst][k]
+		if q == nil {
+			if n := len(c.spareBox); n > 0 {
+				q, c.spareBox = c.spareBox[n-1], c.spareBox[:n-1]
+			}
+		}
+		c.boxes[dst][k] = append(q, inboxMsg{arrival: arrival, bytes: bytes})
 	}
 	p.SleepUntil(senderFree)
 	if c.rec != nil {
@@ -178,6 +196,7 @@ func (c *Comm) recvExpect(p *sim.Process, dst, src, tag int, expect float64) {
 		m := q[0]
 		if len(q) == 1 {
 			delete(c.boxes[dst], k)
+			c.spareBox = append(c.spareBox, q[:0])
 		} else {
 			c.boxes[dst][k] = q[1:]
 		}
@@ -188,7 +207,13 @@ func (c *Comm) recvExpect(p *sim.Process, dst, src, tag int, expect float64) {
 		}
 		p.SleepUntil(m.arrival)
 	} else {
-		c.waiters[dst][k] = append(c.waiters[dst][k], recvWaiter{p: p, expect: expect})
+		ws := c.waiters[dst][k]
+		if ws == nil {
+			if n := len(c.spareWaiters); n > 0 {
+				ws, c.spareWaiters = c.spareWaiters[n-1], c.spareWaiters[:n-1]
+			}
+		}
+		c.waiters[dst][k] = append(ws, recvWaiter{p: p, expect: expect})
 		p.Suspend()
 	}
 	c.recvMsgs[dst]++
@@ -223,10 +248,14 @@ func (c *Comm) Audit() []string {
 	if sent != recvd {
 		out = append(out, fmt.Sprintf("message counts do not balance: %d sent vs %d received", sent, recvd))
 	}
+	// Only keys with live entries are reported, which keeps Audit
+	// independent of how the hot path recycles drained queue storage.
 	sortedKeys := func(m map[key][]inboxMsg) []key {
 		ks := make([]key, 0, len(m))
 		for k := range m {
-			ks = append(ks, k)
+			if len(m[k]) > 0 {
+				ks = append(ks, k)
+			}
 		}
 		sort.Slice(ks, func(i, j int) bool {
 			if ks[i].src != ks[j].src {
@@ -246,7 +275,9 @@ func (c *Comm) Audit() []string {
 	for r := range c.waiters {
 		ks := make([]key, 0, len(c.waiters[r]))
 		for k := range c.waiters[r] {
-			ks = append(ks, k)
+			if len(c.waiters[r][k]) > 0 {
+				ks = append(ks, k)
+			}
 		}
 		sort.Slice(ks, func(i, j int) bool {
 			if ks[i].src != ks[j].src {

@@ -60,7 +60,7 @@ func (pp *Pipe) Transfer(p *Process, bytes float64) {
 // A cap of 0 means "no extra cap".
 func (pp *Pipe) TransferRated(p *Process, bytes, rateCap float64) {
 	done := pp.schedule(bytes, rateCap)
-	p.eng.ScheduleAt(done, func() { p.eng.activate(p) })
+	p.eng.wakeAt(done, p)
 	p.yield()
 }
 

@@ -1,9 +1,9 @@
 package sim
 
 // Process is a goroutine-backed simulation process. A process body runs on
-// its own goroutine but is only ever executing while the engine is parked,
-// so the pair behaves like a coroutine: there is no true concurrency and no
-// need for locks anywhere in the simulation.
+// its own goroutine but only while it holds the engine's baton, so the
+// ensemble behaves like a set of coroutines: there is no true concurrency
+// and no need for locks anywhere in the simulation.
 //
 // A process blocks by calling Sleep, Wait, Pipe.Transfer, or
 // Resource.Acquire; each of those schedules a resumption event and yields
@@ -19,35 +19,42 @@ type Process struct {
 // Spawn creates a process running body and schedules its first activation
 // at the current simulation time. Spawn may be called before Run or from
 // inside any event/process context.
+//
+// When the body returns, the goroutine does not hand control anywhere —
+// it keeps driving the event loop itself (drive) until the loop activates
+// another process or pauses, then exits. A panic escaping the body (or a
+// callback the goroutine was driving) is recovered and forwarded to the
+// Run/RunUntil caller, which re-raises it.
 func (e *Engine) Spawn(name string, body func(p *Process)) *Process {
 	p := &Process{eng: e, name: name, resume: make(chan struct{})}
 	e.procs++
 	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				e.ret <- runStatus{panicVal: r}
+			}
+		}()
 		<-p.resume
 		body(p)
 		p.done = true
 		e.procs--
-		e.park <- struct{}{}
+		e.drive(p)
 	}()
-	e.Schedule(0, func() { e.activate(p) })
+	e.wake(0, p)
 	return p
 }
 
-// activate hands control to p and blocks the engine until p yields or
-// finishes. It must only be called from the engine context.
-func (e *Engine) activate(p *Process) {
-	if p.done {
+// yield passes the baton on and parks until this process's next activation.
+// The caller must already have arranged for a future activation (otherwise
+// the process never runs again and the engine reports a deadlock when the
+// calendar drains). Driving the loop from the yielding goroutine — rather
+// than waking a central engine goroutine that then wakes the next process —
+// is what makes a wake-up a single channel handoff.
+func (p *Process) yield() {
+	if p.eng.drive(p) == driveSelf {
+		// Our own wake-up was the next event: keep running.
 		return
 	}
-	p.resume <- struct{}{}
-	<-e.park
-}
-
-// yield returns control to the engine. The caller must already have
-// arranged for a future activation (otherwise the process never runs again
-// and the engine reports a deadlock when the calendar drains).
-func (p *Process) yield() {
-	p.eng.park <- struct{}{}
 	<-p.resume
 }
 
@@ -80,9 +87,10 @@ func (p *Process) Now() float64 { return p.eng.now }
 // Done reports whether the process body has returned.
 func (p *Process) Done() bool { return p.done }
 
-// Sleep suspends the process for d seconds of simulated time.
+// Sleep suspends the process for d seconds of simulated time. It rides
+// the engine's typed wake-up path: no closure is allocated per call.
 func (p *Process) Sleep(d float64) {
-	p.eng.Schedule(d, func() { p.eng.activate(p) })
+	p.eng.wake(d, p)
 	p.yield()
 }
 
@@ -92,7 +100,7 @@ func (p *Process) SleepUntil(t float64) {
 	if t <= p.eng.now {
 		return
 	}
-	p.eng.ScheduleAt(t, func() { p.eng.activate(p) })
+	p.eng.wakeAt(t, p)
 	p.yield()
 }
 
@@ -104,10 +112,10 @@ func (p *Process) Suspend() { p.block() }
 // Resume schedules p to continue at the current time. Only valid for a
 // process parked with Suspend (or registered in a Signal the caller
 // manages itself).
-func (e *Engine) Resume(p *Process) { e.Schedule(0, func() { e.activate(p) }) }
+func (e *Engine) Resume(p *Process) { e.wake(0, p) }
 
 // ResumeAt schedules p to continue at absolute time t.
-func (e *Engine) ResumeAt(t float64, p *Process) { e.ScheduleAt(t, func() { e.activate(p) }) }
+func (e *Engine) ResumeAt(t float64, p *Process) { e.wakeAt(t, p) }
 
 // Signal is a broadcast condition: processes Wait on it and a later Fire
 // resumes all current waiters (in Wait order). Fire-then-Wait does not
@@ -128,8 +136,7 @@ func (s *Signal) Fire(e *Engine) {
 	ws := s.waiters
 	s.waiters = nil
 	for _, w := range ws {
-		w := w
-		e.Schedule(0, func() { e.activate(w) })
+		e.wake(0, w)
 	}
 }
 
@@ -203,7 +210,7 @@ func (r *Resource) Release(e *Engine) {
 		next := r.queue[0]
 		r.queue = r.queue[1:]
 		// The unit passes directly to next; inUse stays the same.
-		e.Schedule(0, func() { e.activate(next) })
+		e.wake(0, next)
 		return
 	}
 	r.inUse--
