@@ -33,7 +33,7 @@ import (
 var artifactKeys = []string{
 	"tab1", "fig1", "fig2", "fig3", "fig4", "tab2", "fig5", "fig6",
 	"tab3", "fig7", "tab4", "tab5", "tab6", "fig8", "tab7", "fig9",
-	"fig10", "weak", "related",
+	"fig10", "weak", "related", "faults",
 }
 
 func main() {
@@ -43,6 +43,7 @@ func main() {
 		jsonPath = flag.String("json", "", "also write every generated artifact as JSON to this file")
 		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = sequential)")
 		check    = flag.Bool("check", false, "audit every simulated scenario with simcheck (flow conservation, MPI schedule balance, port utilization) and cross-check the collective cost models; violations fail the run")
+		faultsOn = flag.Bool("faults", false, "run the fault-injection study (fault-class matrix + checkpoint-interval sweep); also reachable via -only faults")
 		profile  = flag.Bool("profile", false, "collect per-scenario observability profiles: writes a *.profile.json sidecar and a merged metrics summary on stderr")
 		traceOut = flag.String("trace-out", "", "write a Chrome/Perfetto trace of a representative run (hpl @ 8 nodes, 10GbE) to this file")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the regeneration to this file (host profiling of the simulator itself; written on clean completion)")
@@ -278,6 +279,17 @@ func main() {
 			keep("weak", ws)
 			fmt.Print(ws)
 			fmt.Printf("weak-scaling efficiency @8 nodes: %.2f\n", ws.Efficiency())
+		})
+	}
+	// The fault study is opt-in (-faults or -only faults): it extends the
+	// paper rather than reproducing it, and keeping it out of the default
+	// set keeps the default artifacts identical to the fault-free golden
+	// capture.
+	if *faultsOn || want["faults"] {
+		section("Extension: fault injection and checkpoint-interval sweep", func() {
+			fs := experiments.Faults(o)
+			keep("faults", fs)
+			fmt.Print(fs)
 		})
 	}
 	if *jsonPath != "" {

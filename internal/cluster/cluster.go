@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"clustersoc/internal/cuda"
+	"clustersoc/internal/faults"
 	"clustersoc/internal/mpi"
 	"clustersoc/internal/network"
 	"clustersoc/internal/obs"
@@ -39,6 +40,12 @@ type Config struct {
 	// III-B.2): NIC DMA straight into device memory, skipping the
 	// host-staging copies around every halo exchange.
 	GPUDirect bool
+	// Faults, when set and enabled, injects the plan's failures into the
+	// run (internal/faults): stragglers, link degradation and flaps,
+	// message loss, node crashes. The plan is part of the fingerprint (a
+	// seeded plan is a different scenario), and a nil or zero plan leaves
+	// the run bit-identical to a fault-free one.
+	Faults *faults.Plan `json:",omitempty"`
 }
 
 // Fingerprint returns a canonical, deterministic encoding of the
@@ -126,6 +133,7 @@ type Cluster struct {
 	procs    []*sim.Process // spawned rank processes, in spawn order
 	comms    []*mpi.Comm    // every communicator (Comm + SpawnWith's), for auditing
 	checking bool           // propagate match-time validation to new comms
+	inj      *faults.Injector
 }
 
 // New assembles a cluster from a config.
@@ -140,6 +148,9 @@ func New(cfg Config) *Cluster {
 	}
 	nw := network.New(e, netNodes, cfg.Network)
 	cl := &Cluster{Cfg: cfg, Eng: e, Net: nw, ranksPerNode: cfg.RanksPerNode}
+	if cfg.Faults.Enabled() {
+		cl.inj = faults.NewInjector(*cfg.Faults, e, nw, cfg.Nodes)
+	}
 	for i := 0; i < cfg.Nodes; i++ {
 		nt := cfg.NodeType
 		node := &Node{
@@ -173,6 +184,9 @@ func New(cfg Config) *Cluster {
 		rankNode[r] = r / cfg.RanksPerNode
 	}
 	cl.Comm = mpi.NewComm(e, nw, rankNode)
+	if cfg.Faults.LosesMessages() {
+		cl.Comm.SetLossInjector(cl.inj)
+	}
 	cl.comms = append(cl.comms, cl.Comm)
 	if cfg.Traced {
 		cl.Tracer = trace.New(rankNode)
@@ -260,6 +274,9 @@ func (cl *Cluster) SpawnWith(ranksPerNode int, body func(ctx *Context)) *Job {
 	}
 	comm := mpi.NewComm(cl.Eng, cl.Net, rankNode)
 	comm.SetChecking(cl.checking)
+	if cl.Cfg.Faults.LosesMessages() {
+		comm.SetLossInjector(cl.inj)
+	}
 	cl.comms = append(cl.comms, comm)
 	return cl.spawnOn(comm, ranksPerNode, body)
 }
@@ -328,6 +345,16 @@ func (cl *Cluster) Finish() Result {
 		cl.Tracer.Finish(runtime)
 		res.Trace = &cl.Tracer.T
 	}
+	if cl.inj != nil {
+		fs := cl.inj.Stats()
+		for _, c := range cl.comms {
+			for r := 0; r < c.Size(); r++ {
+				fs.RetransmittedBytes += c.RetransmittedBytes(r)
+			}
+		}
+		fs.LinkDownDelays, fs.LinkDownDelaySeconds, fs.FlapRestoresCancelled = cl.Net.FlapDelays()
+		res.Faults = &fs
+	}
 	if cl.reg != nil {
 		cl.publishMetrics(&res, runtime)
 	}
@@ -374,6 +401,21 @@ func (cl *Cluster) publishMetrics(res *Result, runtime float64) {
 	for _, p := range cl.procs {
 		cs.Scope("rank").Counter(p.Name() + "_blocked_s").Add(p.BlockedSeconds())
 	}
+	if res.Faults != nil {
+		fs := cl.reg.Scope("faults")
+		fs.Gauge("straggler_nodes").Set(float64(res.Faults.StragglerNodes))
+		fs.Gauge("derated_nodes").Set(float64(res.Faults.DeratedNodes))
+		fs.Counter("crashes").Add(float64(res.Faults.Crashes))
+		fs.Counter("crash_outage_s").Add(res.Faults.CrashOutageSeconds)
+		fs.Counter("rework_s").Add(res.Faults.ReworkSeconds)
+		fs.Counter("checkpoints").Add(float64(res.Faults.Checkpoints))
+		fs.Counter("checkpoint_overhead_s").Add(res.Faults.CheckpointOverheadSeconds)
+		fs.Counter("lost_messages").Add(float64(res.Faults.LostMessages))
+		fs.Counter("retransmitted_bytes").Add(res.Faults.RetransmittedBytes)
+		fs.Counter("link_down_delays").Add(float64(res.Faults.LinkDownDelays))
+		fs.Counter("link_down_delay_s").Add(res.Faults.LinkDownDelaySeconds)
+		fs.Counter("flap_restores_cancelled").Add(float64(res.Faults.FlapRestoresCancelled))
+	}
 	res.PMU.Publish(cl.reg.Scope("pmu"))
 	res.GPU.Publish(cl.reg.Scope("gpu"))
 }
@@ -413,6 +455,10 @@ type Result struct {
 	PMU   perf.PMU
 	GPU   perf.GPUMetrics
 	Trace *trace.Trace
+
+	// Faults is the run's fault accounting, present only when a fault
+	// plan was active — fault-free runs keep artifacts byte-identical.
+	Faults *faults.Stats `json:"Faults,omitempty"`
 
 	// PerNode breaks the cluster totals down, in node order — useful for
 	// spotting imbalance (the paper's LB factor) directly in a run.

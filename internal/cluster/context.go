@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"clustersoc/internal/cuda"
+	"clustersoc/internal/faults"
 	"clustersoc/internal/mpi"
 	"clustersoc/internal/sim"
 	"clustersoc/internal/soc"
@@ -17,6 +18,7 @@ type Context struct {
 	node *Node
 	comm *mpi.Comm
 	job  *Job
+	fst  faults.RankState
 }
 
 // Size returns the number of ranks in the communicator.
@@ -57,6 +59,12 @@ func (ctx *Context) ComputeParallel(w soc.CPUWork, cores int) {
 		sharers = cores
 	}
 	r := ctx.node.Type.CPU.Cost(w, sharers)
+	if f := ctx.cl.inj.ComputeFactor(ctx.node.Index); f != 1 {
+		// A straggler node's compute stretches uniformly: more wall time
+		// and more of it stalled, but the same instructions and traffic.
+		r.Seconds *= f
+		r.MemStallSeconds *= f
+	}
 	start := ctx.P.Now()
 	if r.DRAMBytes > 0 {
 		// Book the traffic for contention accounting without serializing
@@ -81,9 +89,16 @@ func (ctx *Context) GPU() *cuda.Device { return ctx.node.GPU }
 
 // Kernel launches a GPU kernel and blocks until it completes. GPU time is
 // recorded as compute in the trace (it is local work for replay purposes).
+// On a straggler node the kernel stretches by the node's compute factor
+// (the SoC throttles CPU and GPU together — they share the same thermal
+// and power envelope); async launches (KernelAsync) are deliberately
+// unscaled, since their duration is buried in the device timeline.
 func (ctx *Context) Kernel(k cuda.Kernel) {
 	start := ctx.P.Now()
 	ctx.node.GPU.Launch(ctx.P, k)
+	if f := ctx.cl.inj.ComputeFactor(ctx.node.Index); f != 1 {
+		ctx.P.Sleep((ctx.P.Now() - start) * (f - 1))
+	}
 	ctx.creditFlops(k.FLOPs)
 	if ctx.cl.Tracer != nil {
 		ctx.cl.Tracer.RecordCompute(ctx.Rank, ctx.P.Now()-start, start)
@@ -142,6 +157,16 @@ func (ctx *Context) StageIn(bytes float64) {
 		return
 	}
 	ctx.CopyIn(bytes)
+}
+
+// Checkpoint marks a resilience point: the rank could restore from here
+// with stateBytes of saved state. Workloads call it at natural iteration
+// boundaries. Under a fault plan with a crash model it settles any crash
+// of this node since the last hook (restart outage + redone work) and
+// takes a checkpoint when the plan's interval has elapsed; otherwise it
+// is free and changes nothing.
+func (ctx *Context) Checkpoint(stateBytes float64) {
+	ctx.cl.inj.Checkpoint(ctx.P, ctx.node.Index, &ctx.fst, stateBytes)
 }
 
 // Phase marks an iteration boundary for PARAVER-style trace chopping.

@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"clustersoc/internal/cluster"
+	"clustersoc/internal/faults"
 	"clustersoc/internal/network"
 	"clustersoc/internal/runner"
 	"clustersoc/internal/workloads"
@@ -32,6 +33,11 @@ type Options struct {
 	// one worker, runs independent scenarios concurrently. Nil means a
 	// private sequential runner per generator call — the seed behaviour.
 	Runner *runner.Runner
+	// Faults attaches a fault plan to every scenario the generators
+	// declare. A nil or zero (disabled) plan reproduces the fault-free
+	// artifacts byte-for-byte; the Faults generator builds its own plans
+	// and ignores this field.
+	Faults *faults.Plan
 }
 
 // DefaultOptions returns the standard regeneration settings.
@@ -60,10 +66,18 @@ func (o Options) runner() *runner.Runner {
 	return runner.New(1)
 }
 
-// runAll submits a generator's declared scenario set to the run-plane.
-// Every scenario references registry workloads, so an error is a
-// programming bug, not an input condition.
+// runAll submits a generator's declared scenario set to the run-plane,
+// attaching the Options-level fault plan (if any) to every scenario —
+// the plan participates in the cluster fingerprint, so faulted and
+// fault-free variants of one run never collide in the cache. Every
+// scenario references registry workloads, so an error is a programming
+// bug, not an input condition.
 func runAll(o Options, scenarios []runner.Scenario) []runner.Result {
+	if o.Faults != nil {
+		for i := range scenarios {
+			scenarios[i].Cluster.Faults = o.Faults
+		}
+	}
 	res, err := o.runner().RunAll(scenarios)
 	if err != nil {
 		panic(fmt.Sprintf("experiments: scenario failed: %v", err))

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"clustersoc/internal/faults"
+	"clustersoc/internal/runner"
+)
+
+// A zero-value (non-nil but disabled) fault plan attached to every scenario
+// must reproduce the seed artifacts byte for byte: the disabled path builds
+// no injector, draws no randomness, and attaches no Faults block to any
+// result. This pins the "plan off = bit-identical" half of the injection
+// plane's contract at full-artifact granularity.
+func TestZeroFaultPlanPreservesGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates every artifact")
+	}
+	o := DefaultOptions()
+	o.Scale = 0.04
+	o.Runner = runner.New(4)
+	o.Faults = &faults.Plan{}
+
+	var got bytes.Buffer
+	if err := WriteArtifactsJSON(&got, Artifacts(o)); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "artifacts-scale0.04.golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		gl := bytes.Split(got.Bytes(), []byte("\n"))
+		wl := bytes.Split(want, []byte("\n"))
+		for i := 0; i < len(gl) && i < len(wl); i++ {
+			if !bytes.Equal(gl[i], wl[i]) {
+				t.Fatalf("zero fault plan changed artifact JSON at line %d:\n got: %s\nwant: %s",
+					i+1, gl[i], wl[i])
+			}
+		}
+		t.Fatalf("zero fault plan changed artifact JSON length: got %d bytes, golden %d", got.Len(), len(want))
+	}
+}

@@ -49,6 +49,15 @@ type Recorder interface {
 	RecordRecv(rank, peer, tag int, start, end float64)
 }
 
+// LossInjector decides, per cross-node message, whether the first copy is
+// lost on the wire; internal/faults implements it with a deterministic
+// per-plan stream. Timeout is the eager-retransmit delay the sender pays
+// before the second copy leaves the NIC.
+type LossInjector interface {
+	Lose(src, dst int, bytes float64) bool
+	Timeout() float64
+}
+
 // Comm is a communicator over a set of ranks placed on network nodes.
 type Comm struct {
 	eng      *sim.Engine
@@ -74,6 +83,14 @@ type Comm struct {
 	sentMsgs  []uint64
 	recvMsgs  []uint64 // per-rank completed receives
 
+	// loss, when non-nil, is the fault plane's message-loss model. A lost
+	// message costs a second wire transit (booked after the retransmit
+	// timeout) that is charged to retransBytes, not sentBytes — the
+	// payload is sent once, the wire carries it twice.
+	loss         LossInjector
+	retransBytes []float64 // per-rank retransmitted bytes (wire copies beyond the first)
+	retransMsgs  []uint64  // per-rank retransmitted messages
+
 	// checking enables the simcheck assertions that have a natural home
 	// at match time (declared receive sizes vs the peer's send size).
 	// Mismatches are collected, not panicked, so Audit can report every
@@ -90,12 +107,15 @@ func NewComm(e *sim.Engine, nw *network.Network, rankNode []int) *Comm {
 		eng:       e,
 		nw:        nw,
 		rankNode:  append([]int(nil), rankNode...),
-		boxes:   make([]map[key][]inboxMsg, n),
-		waiters: make([]map[key][]recvWaiter, n),
-		cseq:    make([]int, n),
+		boxes:     make([]map[key][]inboxMsg, n),
+		waiters:   make([]map[key][]recvWaiter, n),
+		cseq:      make([]int, n),
 		sentBytes: make([]float64, n),
 		sentMsgs:  make([]uint64, n),
 		recvMsgs:  make([]uint64, n),
+
+		retransBytes: make([]float64, n),
+		retransMsgs:  make([]uint64, n),
 	}
 	for i := range c.boxes {
 		c.boxes[i] = make(map[key][]inboxMsg)
@@ -131,6 +151,19 @@ func (c *Comm) check(rank int) {
 // SetRecorder attaches a trace recorder (nil to detach).
 func (c *Comm) SetRecorder(r Recorder) { c.rec = r }
 
+// SetLossInjector attaches the fault plane's message-loss model (nil to
+// detach). Only cross-node messages can be lost — the intra-node
+// shared-memory path is a memcpy, not a wire.
+func (c *Comm) SetLossInjector(li LossInjector) { c.loss = li }
+
+// RetransmittedBytes returns the extra wire bytes rank paid to retransmit
+// lost messages. These bytes crossed the fabric but are not in SentBytes:
+// flow-conservation audits must add them to the send side.
+func (c *Comm) RetransmittedBytes(rank int) float64 { return c.retransBytes[rank] }
+
+// Retransmissions returns the number of messages rank had to retransmit.
+func (c *Comm) Retransmissions(rank int) uint64 { return c.retransMsgs[rank] }
+
 // SetChecking toggles match-time validation: receives that declare an
 // expected size (Sendrecv) are checked against the matched message's
 // actual size, and mismatches are collected for Audit. Checking never
@@ -143,9 +176,19 @@ func (c *Comm) Send(p *sim.Process, src, dst, tag int, bytes float64) {
 	c.check(src)
 	c.check(dst)
 	start := p.Now()
-	senderFree, arrival := c.nw.Deliver(c.rankNode[src], c.rankNode[dst], bytes)
+	srcNode, dstNode := c.rankNode[src], c.rankNode[dst]
+	senderFree, arrival := c.nw.Deliver(srcNode, dstNode, bytes)
 	c.sentBytes[src] += bytes
 	c.sentMsgs[src]++
+	if c.loss != nil && srcNode != dstNode && c.loss.Lose(src, dst, bytes) {
+		// Eager retransmit: the first copy is lost, so the payload makes a
+		// second wire transit that cannot start before the sender's timeout
+		// fires. The receiver sees only the retransmitted copy's arrival,
+		// and the sender's buffer is not free until the second copy drains.
+		senderFree, arrival = c.nw.DeliverAfter(srcNode, dstNode, bytes, senderFree+c.loss.Timeout())
+		c.retransBytes[src] += bytes
+		c.retransMsgs[src]++
+	}
 	k := key{src, tag}
 	if ws := c.waiters[dst][k]; len(ws) > 0 {
 		w := ws[0]

@@ -1,0 +1,80 @@
+package mpi
+
+import (
+	"math"
+	"testing"
+
+	"clustersoc/internal/network"
+	"clustersoc/internal/sim"
+)
+
+// dropFirst loses the first n cross-node messages it sees.
+type dropFirst struct {
+	n       int
+	seen    int
+	timeout float64
+}
+
+func (d *dropFirst) Lose(src, dst int, bytes float64) bool {
+	d.seen++
+	return d.seen <= d.n
+}
+
+func (d *dropFirst) Timeout() float64 { return d.timeout }
+
+// A lost message arrives one retransmit timeout plus one wire service later,
+// and the retransmitted copy is charged to the retransmission counters, not
+// to SentBytes — the payload was sent once even though the wire carried it
+// twice.
+func TestLostMessageRetransmitted(t *testing.T) {
+	e, c := build(2, network.GigE)
+	li := &dropFirst{n: 1, timeout: 0.25}
+	c.SetLossInjector(li)
+	var recvAt float64
+	runRanks(e, 2, func(p *sim.Process, rank int) {
+		if rank == 0 {
+			c.Send(p, 0, 1, 7, 1000)
+		} else {
+			c.Recv(p, 1, 0, 7)
+			recvAt = p.Now()
+		}
+	})
+	svc := 1000 / network.GigE.Throughput
+	// First copy would have arrived at svc+latency; the retransmit leaves
+	// timeout after the sender's port freed and is itself re-serviced.
+	want := svc + li.timeout + svc + network.GigE.Latency
+	if math.Abs(recvAt-want) > 1e-9 {
+		t.Fatalf("recv at %v, want %v (one timeout + one re-service late)", recvAt, want)
+	}
+	if got := c.RetransmittedBytes(0); got != 1000 {
+		t.Fatalf("retransmitted bytes = %v, want 1000", got)
+	}
+	if got := c.Retransmissions(0); got != 1 {
+		t.Fatalf("retransmissions = %v, want 1", got)
+	}
+	if got := c.SentBytes(0); got != 1000 {
+		t.Fatalf("sent bytes = %v, want 1000 — the retransmit copy must not inflate the payload count", got)
+	}
+}
+
+// Intra-node messages never traverse the wire and must be exempt from loss.
+func TestIntraNodeMessagesNeverLost(t *testing.T) {
+	e := sim.NewEngine()
+	nw := network.New(e, 1, network.GigE)
+	c := NewComm(e, nw, []int{0, 0})
+	li := &dropFirst{n: 1000, timeout: 10}
+	c.SetLossInjector(li)
+	runRanks(e, 2, func(p *sim.Process, rank int) {
+		if rank == 0 {
+			c.Send(p, 0, 1, 1, 500)
+		} else {
+			c.Recv(p, 1, 0, 1)
+		}
+	})
+	if li.seen != 0 {
+		t.Fatalf("loss injector consulted %d time(s) for intra-node traffic, want 0", li.seen)
+	}
+	if got := c.Retransmissions(0); got != 0 {
+		t.Fatalf("intra-node retransmissions = %v, want 0", got)
+	}
+}

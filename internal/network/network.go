@@ -67,6 +67,42 @@ type queuedMsg struct {
 	bytes float64
 }
 
+// FlapSource lazily generates a link's down windows. Next returns the
+// next window [start, end); successive windows must not overlap and must
+// be non-decreasing in time. start == +Inf means no further flaps.
+// Pull-based generation keeps the fault plane termination-safe: windows
+// materialize only as traffic reaches them, so an idle link never keeps
+// the calendar alive.
+type FlapSource interface {
+	Next() (start, end float64)
+}
+
+// window is one half-open interval during which a link cannot begin
+// service (a flap or a crash outage).
+type window struct {
+	from, to float64
+}
+
+// linkFault is the per-node fault state of one NIC (both directions and
+// the intra-node path share the node's fate). Allocated only when the
+// fault plane injects something, so a fault-free network pays one nil
+// check per Deliver.
+type linkFault struct {
+	derate float64 // throughput multiplier; 0 means unset (healthy)
+	flaps  FlapSource
+
+	winFrom, winTo float64    // current flap window; winTo == 0 until first pull
+	done           bool       // flap source exhausted
+	restore        *sim.Timer // pending flap-restoration timer
+	down           bool       // inside a flap the traffic has entered
+
+	forced []window // crash outages, appended in simulation-time order
+
+	flapDelays       uint64  // bookings pushed past a down window
+	flapDelaySeconds float64 // total service-start delay those bookings paid
+	flapsCancelled   uint64  // flap restorations superseded by a crash
+}
+
 // Network is the interconnect for a set of nodes.
 type Network struct {
 	eng     *sim.Engine
@@ -83,6 +119,11 @@ type Network struct {
 	// high-water tracking keys off the same nil check, so an
 	// uninstrumented Deliver pays exactly one comparison.
 	sizeHist *obs.Histogram
+
+	// lf, when non-nil, is the per-node link-fault state installed by the
+	// fault-injection plane (internal/faults). A fault-free network keeps
+	// it nil, so Deliver pays exactly one comparison.
+	lf []linkFault
 }
 
 // MemoryPathBandwidth is the effective bandwidth of rank-to-rank transfers
@@ -116,6 +157,18 @@ func (nw *Network) Nodes() int { return len(nw.tx) }
 // and the time the last byte reaches the receiver. Deliver does not block;
 // the MPI layer schedules around the returned times.
 func (nw *Network) Deliver(src, dst int, bytes float64) (senderFree, arrival float64) {
+	return nw.deliver(src, dst, bytes, nw.eng.Now())
+}
+
+// DeliverAfter is Deliver with a floor on the service start: the booking
+// cannot enter service before `earliest`. The MPI layer uses it for the
+// eager-retransmit copy of a lost message, which leaves the NIC only
+// after the retransmit timeout has elapsed.
+func (nw *Network) DeliverAfter(src, dst int, bytes, earliest float64) (senderFree, arrival float64) {
+	return nw.deliver(src, dst, bytes, math.Max(earliest, nw.eng.Now()))
+}
+
+func (nw *Network) deliver(src, dst int, bytes, floor float64) (senderFree, arrival float64) {
 	if src < 0 || src >= len(nw.tx) || dst < 0 || dst >= len(nw.rx) {
 		panic(fmt.Sprintf("network: node out of range: %d -> %d (have %d)", src, dst, len(nw.tx)))
 	}
@@ -123,7 +176,10 @@ func (nw *Network) Deliver(src, dst int, bytes float64) (senderFree, arrival flo
 	nw.packets++
 	if src == dst {
 		lp := &nw.loop[src]
-		start := math.Max(now, lp.free)
+		start := math.Max(floor, lp.free)
+		if nw.lf != nil {
+			start = nw.admitOne(src, start)
+		}
 		svc := bytes / nw.memBW
 		lp.free = start + svc
 		lp.bytes += bytes
@@ -135,8 +191,13 @@ func (nw *Network) Deliver(src, dst int, bytes float64) (senderFree, arrival flo
 		return lp.free, lp.free + nw.memLat
 	}
 	t, r := &nw.tx[src], &nw.rx[dst]
-	start := math.Max(now, math.Max(t.free, r.free))
-	svc := bytes / nw.prof.Throughput
+	start := math.Max(floor, math.Max(t.free, r.free))
+	rate := nw.prof.Throughput
+	if nw.lf != nil {
+		start = nw.admit(src, dst, start)
+		rate *= math.Min(nw.derate(src), nw.derate(dst))
+	}
+	svc := bytes / rate
 	t.free = start + svc
 	r.free = start + svc
 	t.bytes += bytes
@@ -150,6 +211,69 @@ func (nw *Network) Deliver(src, dst int, bytes float64) (senderFree, arrival flo
 		r.markQueued(now, start, bytes)
 	}
 	return t.free, t.free + nw.prof.Latency
+}
+
+// derate returns the node link's effective throughput multiplier.
+func (nw *Network) derate(node int) float64 {
+	if d := nw.lf[node].derate; d > 0 {
+		return d
+	}
+	return 1
+}
+
+// admit pushes a service start past any down windows (flaps, crash
+// outages) of both endpoints, iterating to a fixpoint: escaping one
+// node's window can land inside the other's. The loop terminates because
+// each pass only moves the start forward through a finite set of
+// materialized windows.
+func (nw *Network) admit(src, dst int, start float64) float64 {
+	for {
+		next := nw.admitOne(dst, nw.admitOne(src, start))
+		if next == start {
+			return start
+		}
+		start = next
+	}
+}
+
+// admitOne pushes a service start past one node's down windows. Entering
+// a flap window for the first time arms that window's restoration timer;
+// a later crash on the node cancels it (ForceDown).
+func (nw *Network) admitOne(node int, start float64) float64 {
+	f := &nw.lf[node]
+	for _, w := range f.forced {
+		if start >= w.from && start < w.to {
+			f.flapDelays++
+			f.flapDelaySeconds += w.to - start
+			start = w.to
+		}
+	}
+	if f.flaps == nil {
+		return start
+	}
+	// Pull windows until the current one ends after start.
+	for !f.done && f.winTo <= start {
+		from, to := f.flaps.Next()
+		if math.IsInf(from, 1) {
+			f.done = true
+			break
+		}
+		f.winFrom, f.winTo = from, to
+	}
+	if !f.done && start >= f.winFrom && start < f.winTo {
+		f.flapDelays++
+		f.flapDelaySeconds += f.winTo - start
+		if !f.down {
+			f.down = true
+			end := f.winTo
+			f.restore = nw.eng.AfterAt(end, func() {
+				f.down = false
+				f.restore = nil
+			})
+		}
+		start = f.winTo
+	}
+	return start
 }
 
 // markQueued updates the port's queued-bytes high-water mark right after
@@ -173,6 +297,51 @@ func (p *port) markQueued(now, start, bytes float64) {
 	if queued > p.queuedMax {
 		p.queuedMax = queued
 	}
+}
+
+// InjectLinkFaults installs the fault plane's state for one node's link:
+// a throughput derate (0 or 1 = healthy) and an optional lazy flap
+// source. Must be called before traffic flows. Injecting a fully healthy
+// state (derate 1, nil flaps) still allocates the fault table, so the
+// fault plane only calls it for links a plan actually degrades.
+func (nw *Network) InjectLinkFaults(node int, derate float64, flaps FlapSource) {
+	nw.ensureLF()
+	nw.lf[node].derate = derate
+	nw.lf[node].flaps = flaps
+}
+
+// ForceDown takes a node's link down for [from, to) — the fault plane's
+// crash outage. A pending flap restoration on the node is cancelled: the
+// NIC reset on reboot supersedes the flap recovery, and the outage window
+// governs admission until the restart completes.
+func (nw *Network) ForceDown(node int, from, to float64) {
+	nw.ensureLF()
+	f := &nw.lf[node]
+	f.forced = append(f.forced, window{from: from, to: to})
+	if f.restore != nil && f.restore.Stop() {
+		f.flapsCancelled++
+		f.restore = nil
+		f.down = false
+	}
+}
+
+func (nw *Network) ensureLF() {
+	if nw.lf == nil {
+		nw.lf = make([]linkFault, len(nw.tx))
+	}
+}
+
+// FlapDelays returns the fault plane's link-delay accounting summed over
+// all nodes: how many bookings were pushed past a down window (flap or
+// crash outage), the total service-start delay they paid, and how many
+// flap restorations were cancelled by a crash.
+func (nw *Network) FlapDelays() (delays uint64, seconds float64, cancelled uint64) {
+	for i := range nw.lf {
+		delays += nw.lf[i].flapDelays
+		seconds += nw.lf[i].flapDelaySeconds
+		cancelled += nw.lf[i].flapsCancelled
+	}
+	return delays, seconds, cancelled
 }
 
 // BytesSent returns the total bytes node has transmitted over the wire

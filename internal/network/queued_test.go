@@ -67,6 +67,48 @@ func TestQueuedBacklogDrainsWithTime(t *testing.T) {
 	}
 }
 
+// The m.start > now boundary in markQueued, pinned from both sides. A
+// booking whose service start equals the current instant is in service —
+// counting it as backlog would double-count the message the port is
+// draining right now.
+func TestQueuedEqualTimeBookingIsInServiceNotBacklog(t *testing.T) {
+	e := sim.NewEngine()
+	nw := New(e, 2, TenGigE)
+	nw.Instrument(obs.NewRegistry().Scope("network"))
+	e.Spawn("sender", func(p *sim.Process) {
+		sf1, _ := nw.Deliver(0, 1, 1000) // in service at t=0
+		nw.Deliver(0, 1, 2000)           // queued; enters service exactly at sf1
+		p.SleepUntil(sf1)                // now == the second booking's start, bit for bit
+		nw.Deliver(0, 1, 4000)           // books behind the (now in-service) second message
+	})
+	e.Run()
+	// At the third booking only the third message waits: the second's
+	// start == now means it is on the wire. A >= boundary would have kept
+	// it and recorded 6000.
+	if got := queuedHW(t, nw, "port0.tx_queued_bytes_hw"); got != 4000 {
+		t.Fatalf("tx_queued_bytes_hw = %g, want 4000 (equal-time booking is in service, not backlog)", got)
+	}
+}
+
+// The other side of the boundary: a booking whose start is still strictly
+// in the future must survive an intermediate markQueued prune — pruning
+// it would drop waiting bytes from the high-water mark.
+func TestQueuedFutureBookingNotDropped(t *testing.T) {
+	e := sim.NewEngine()
+	nw := New(e, 2, TenGigE)
+	nw.Instrument(obs.NewRegistry().Scope("network"))
+	e.Spawn("sender", func(p *sim.Process) {
+		sf1, _ := nw.Deliver(0, 1, 1000)
+		nw.Deliver(0, 1, 2000) // waits until sf1
+		p.SleepUntil(sf1 / 2)  // strictly before the second booking starts
+		nw.Deliver(0, 1, 4000) // second message still waiting: 2000+4000 queued
+	})
+	e.Run()
+	if got := queuedHW(t, nw, "port0.tx_queued_bytes_hw"); got != 6000 {
+		t.Fatalf("tx_queued_bytes_hw = %g, want 6000 (future booking must stay in the backlog)", got)
+	}
+}
+
 // The intra-node loop port uses the same accounting.
 func TestQueuedHighWaterIntraNode(t *testing.T) {
 	nw := New(sim.NewEngine(), 1, GigE)

@@ -23,8 +23,20 @@ type Spec struct {
 	// wall (the 10 GbE card costs ~5 W per node).
 	NICWatts float64
 	// PSUEfficiency converts DC power to the AC wall power the paper's
-	// probe sees.
+	// probe sees. Unset (or otherwise non-positive / NaN) means an ideal
+	// supply: a zero-value Spec must meter zero joules, not +Inf — an
+	// unset efficiency once propagated silently into every MFLOPS/W
+	// figure as NaN.
 	PSUEfficiency float64
+}
+
+// psu returns the effective PSU efficiency, treating anything that is not
+// a positive number as 1 (the comparison is written to also catch NaN).
+func (s Spec) psu() float64 {
+	if !(s.PSUEfficiency > 0) {
+		return 1
+	}
+	return s.PSUEfficiency
 }
 
 // MaxWatts returns the AC power at full load with all cores and SMs busy
@@ -32,7 +44,7 @@ type Spec struct {
 func (s Spec) MaxWatts(cores, sms int, dramGBps float64) float64 {
 	dc := s.IdleWatts + float64(cores)*s.CPUCoreWatts + float64(sms)*s.GPUSMWatts +
 		dramGBps*s.DRAMWattsPerGBps
-	return dc/s.PSUEfficiency + s.NICWatts
+	return dc/s.psu() + s.NICWatts
 }
 
 // Meter integrates one node's energy over a run from component busy times.
@@ -60,7 +72,7 @@ func (m *Meter) Energy(duration float64) float64 {
 		m.Spec.CPUCoreWatts*m.coreBusy +
 		m.Spec.GPUSMWatts*m.smBusy +
 		m.Spec.DRAMWattsPerGBps*m.dramGB
-	return dc/m.Spec.PSUEfficiency + m.Spec.NICWatts*duration
+	return dc/m.Spec.psu() + m.Spec.NICWatts*duration
 }
 
 // AveragePower returns mean AC watts over the run.

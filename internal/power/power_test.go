@@ -107,3 +107,25 @@ func TestMFLOPSPerWatt(t *testing.T) {
 		t.Fatal("zero power must not divide")
 	}
 }
+
+// A zero-value Spec (PSUEfficiency unset) models an ideal supply: dividing
+// by the zero efficiency used to send energy to +Inf and poison every
+// MFLOPS/W figure downstream.
+func TestZeroValueSpecIsIdealSupply(t *testing.T) {
+	var m Meter // zero Spec
+	if e := m.Energy(10); e != 0 {
+		t.Fatalf("zero-value meter energy = %v, want 0", e)
+	}
+	m.Spec.IdleWatts = 10
+	if e := m.Energy(2); e != 20 {
+		t.Fatalf("unset PSU efficiency must mean 1.0: energy = %v, want 20", e)
+	}
+	m.Spec.PSUEfficiency = math.NaN()
+	if e := m.Energy(2); e != 20 {
+		t.Fatalf("NaN PSU efficiency must mean 1.0: energy = %v, want 20", e)
+	}
+	s := Spec{IdleWatts: 10, PSUEfficiency: -0.5}
+	if w := s.MaxWatts(0, 0, 0); w != 10 {
+		t.Fatalf("negative PSU efficiency must mean 1.0: max watts = %v, want 10", w)
+	}
+}

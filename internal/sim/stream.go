@@ -1,0 +1,54 @@
+package sim
+
+import "math"
+
+// Stream is a deterministic pseudo-random number stream (splitmix64).
+// The fault-injection plane derives one named stream per purpose (per-node
+// crash clocks, per-link flap clocks, the message-loss coin) from a single
+// plan seed, so every draw is a pure function of (seed, salt, draw index):
+// independent of host, of Go version (no math/rand), of scheduling, and of
+// whether any other stream was consulted. That is what lets a seeded fault
+// plan stay bit-identical across sequential and parallel run-planes.
+type Stream struct {
+	state uint64
+}
+
+// fnv64 hashes a salt string (FNV-1a) so differently named streams derived
+// from one seed are decorrelated.
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// NewStream returns the stream identified by (seed, salt).
+func NewStream(seed uint64, salt string) *Stream {
+	s := &Stream{state: seed ^ fnv64(salt)}
+	// One warm-up step separates streams whose XORed states are close.
+	s.Uint64()
+	return s
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (s *Stream) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform draw in [0, 1).
+func (s *Stream) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Exp returns an exponentially distributed draw with the given mean —
+// the inter-arrival law of the fault plane's crash and flap clocks.
+// The result is strictly positive (Float64 never returns 1).
+func (s *Stream) Exp(mean float64) float64 {
+	return -mean * math.Log(1-s.Float64())
+}

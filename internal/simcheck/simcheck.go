@@ -117,13 +117,14 @@ func AuditCluster(cl *cluster.Cluster, res cluster.Result) []Violation {
 		}
 	}
 
-	var commSent float64
+	var commSent, retrans float64
 	for ci, c := range cl.Comms() {
 		for _, d := range c.Audit() {
 			add("mpi-schedule", "comm %d: %s", ci, d)
 		}
 		for r := 0; r < c.Size(); r++ {
 			commSent += c.SentBytes(r)
+			retrans += c.RetransmittedBytes(r)
 		}
 	}
 	served := 0.0
@@ -131,10 +132,16 @@ func AuditCluster(cl *cluster.Cluster, res cluster.Result) []Violation {
 		// The file server holds the last switch port and only ever sends.
 		served = nw.BytesSent(cl.Cfg.Nodes)
 	}
-	if !approxEqual(commSent+served, tx+loop) {
+	// Retransmitted payloads cross the wire a second time: the fault
+	// plane's loss model charges them to the ports but not to SentBytes,
+	// so they enter the balance on the send side explicitly.
+	if !approxEqual(commSent+served+retrans, tx+loop) {
 		add("flow-conservation",
-			"communicators sent %g B and the file server %g B, but the network carried %g B (wire) + %g B (intra-node)",
-			commSent, served, tx, loop)
+			"communicators sent %g B (+%g B retransmitted) and the file server %g B, but the network carried %g B (wire) + %g B (intra-node)",
+			commSent, retrans, served, tx, loop)
+	}
+	if retrans > 0 && !cl.Cfg.Faults.LosesMessages() {
+		add("fault-hygiene", "%g B were retransmitted but the fault plan injects no message loss", retrans)
 	}
 
 	if neg, nan := cl.Eng.ClampedDelays(); neg+nan > 0 {

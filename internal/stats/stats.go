@@ -133,10 +133,19 @@ type ScalingFit struct {
 }
 
 // FitScaling fits the model to measured points. At least three distinct P
-// values are required.
+// values are required — repeated measurements at the same P are welcome,
+// but the three basis functions cannot be separated from fewer than three
+// distinct cluster sizes.
 func FitScaling(ps []int, ts []float64) (ScalingFit, error) {
 	if len(ps) != len(ts) || len(ps) < 3 {
 		return ScalingFit{}, errors.New("stats: need >= 3 (P, T) points")
+	}
+	distinct := map[int]bool{}
+	for _, p := range ps {
+		distinct[p] = true
+	}
+	if len(distinct) < 3 {
+		return ScalingFit{}, fmt.Errorf("stats: need >= 3 distinct P values to fit T(P) = a + b/P + c*ln(P), got %d", len(distinct))
 	}
 	x := make([][]float64, len(ps))
 	for i, p := range ps {

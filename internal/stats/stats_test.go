@@ -178,3 +178,18 @@ func TestPLSConstantColumnHarmless(t *testing.T) {
 		t.Fatalf("prediction with constant column broken: %v", res.Predict([]float64{5, 5}))
 	}
 }
+
+// Three points at only two distinct cluster sizes pass the length check but
+// leave the design matrix rank-deficient: FitScaling must reject the input
+// with a clear error rather than surface a singular-system failure (or, for
+// near-duplicate floats, a garbage fit).
+func TestFitScalingNeedsDistinctSizes(t *testing.T) {
+	_, err := FitScaling([]int{4, 4, 8}, []float64{10.1, 9.9, 6})
+	if err == nil {
+		t.Fatal("expected error with only 2 distinct P values")
+	}
+	// Repeated measurements are fine as long as three sizes appear.
+	if _, err := FitScaling([]int{2, 2, 4, 8}, []float64{20.1, 19.9, 11, 7}); err != nil {
+		t.Fatalf("repeated measurements at distinct sizes rejected: %v", err)
+	}
+}

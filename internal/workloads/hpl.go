@@ -132,6 +132,8 @@ func (h *HPL) Body(cfg Config) func(*cluster.Context) {
 			if cpuFlops > 0 {
 				ctx.Compute(dgemmCPUWork(cpuFlops))
 			}
+			// Restorable state: this rank's share of the factored matrix.
+			ctx.Checkpoint(float64(n) * float64(n) * 8 / float64(p))
 			ctx.Phase()
 		}
 		if pending != nil {
@@ -186,6 +188,7 @@ func (h *HPLCPU) Body(cfg Config) func(*cluster.Context) {
 			}
 			trailFlops := kernels.HPLTrailingFlops(n, k, h.NB) / float64(p)
 			ctx.Compute(dgemmCPUWork(trailFlops))
+			ctx.Checkpoint(float64(n) * float64(n) * 8 / float64(p))
 			ctx.Phase()
 		}
 		ctx.Barrier()

@@ -55,6 +55,10 @@ func (j *Jacobi) Body(cfg Config) func(*cluster.Context) {
 		halo := kernels.HaloBytes2D(j.N)
 		_ = cells
 
+		// Restorable state: this rank's strip of the grid (one copy —
+		// the checkpoint writes the converged-so-far field).
+		stateBytes := float64(rows) * float64(j.N) * 8
+
 		// The sweep kernel: DRAM OI ~ 6/24 = 0.25 FLOP/B; the TX1 L2
 		// captures some neighbour reuse.
 		k := gpuKernel("jacobi_sweep", flops, 0.25, 0.40, false)
@@ -75,6 +79,7 @@ func (j *Jacobi) Body(cfg Config) func(*cluster.Context) {
 			if it%10 == 9 {
 				ctx.Allreduce(8)
 			}
+			ctx.Checkpoint(stateBytes)
 			ctx.Phase()
 		}
 	}
