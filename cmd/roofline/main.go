@@ -1,9 +1,11 @@
 // Command roofline prints the extended Roofline model (Sec. III-B.3) for
 // a system: the memory/compute roof series for plotting and, optionally,
-// the placement of a measured workload.
+// the placement of a measured workload or of the host machine's own
+// calibration kernels.
 //
 //	roofline -net 10g
 //	roofline -net 1g -workload tealeaf3d -nodes 8
+//	roofline -host -backend blocked      # time the host's kernels
 package main
 
 import (
@@ -11,8 +13,11 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"strings"
 
+	"clustersoc/internal/compute"
 	"clustersoc/internal/core"
+	"clustersoc/internal/perf"
 	"clustersoc/internal/units"
 )
 
@@ -23,8 +28,18 @@ func main() {
 		nodes    = flag.Int("nodes", 8, "cluster size for the workload run")
 		scale    = flag.Float64("scale", 0.08, "problem scale")
 		points   = flag.Int("points", 24, "samples of the roof curve")
+		backend  = flag.String("backend", compute.Default().Name(), "compute backend for -host calibration ("+strings.Join(compute.Names(), ", ")+")")
+		host     = flag.Bool("host", false, "time the calibration kernels on this machine under -backend and print their measured rates")
+		hostN    = flag.Int("host-n", 512, "problem order for -host kernels (GEMM n, n*n vectors and grid)")
 	)
 	flag.Parse()
+
+	be, err := compute.ByName(*backend)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "roofline:", err)
+		os.Exit(2)
+	}
+	compute.SetDefault(be)
 
 	net := core.TenGigE
 	if *netArg == "1g" {
@@ -41,6 +56,14 @@ func main() {
 	fmt.Println("\n  OI (FLOP/B)   attainable")
 	for _, p := range m.MemorySeries(0.01, 100, *points) {
 		fmt.Printf("  %10.3f   %s\n", p.OI, units.Flops(p.Attainable))
+	}
+
+	if *host {
+		fmt.Printf("\nhost calibration (backend %s, n=%d, best of 3):\n", be.Name(), *hostN)
+		fmt.Println("  kernel     OI (FLOP/B)   measured")
+		for _, k := range perf.MeasureHostKernels(be, *hostN, 3) {
+			fmt.Printf("  %-8s %10.3f   %s\n", k.Name, k.OI(), units.Flops(k.FlopRate()))
+		}
 	}
 
 	if *workload == "" {

@@ -11,6 +11,11 @@
 // internal/workloads charges the simulator for (halos, dot-product
 // allreduces, all-to-all transposes, key scatters) are the ones the real
 // algorithms actually require.
+//
+// The numerics themselves (Jacobi sweeps, CG dot/axpy, matmuls) execute
+// through the process-wide compute backend (internal/compute): the
+// default "reference" engine reproduces the seed loops byte-for-byte,
+// while "blocked" runs the same math tiled and goroutine-parallel.
 package apps
 
 import (

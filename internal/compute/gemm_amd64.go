@@ -1,0 +1,30 @@
+//go:build amd64
+
+package compute
+
+// gemmMicro8 is the SSE2 inner kernel (gemm_amd64.s). For j in [0, n)
+// it computes c[j] += sum over t < 8 of a[t]*b[t*stride+j], two output
+// elements per iteration via packed MULPD/ADDPD. n must be even and
+// positive. Packed IEEE ops round exactly like the scalar loop, so the
+// result depends only on the (fixed) summation tree, never on the
+// worker partition.
+//
+//go:noescape
+func gemmMicro8(c, b, a *float64, n, stride int)
+
+// gemm8 applies an 8-deep k-panel to one row slab of C:
+// c[j] += sum over t < 8 of a[t]*b[t*stride+j]. The even prefix runs in
+// the SSE2 kernel (two doubles per instruction doubles the scalar flop
+// ceiling); an odd trailing element is handled here.
+func gemm8(c, b, a []float64, stride int) {
+	n := len(c)
+	if even := n &^ 1; even > 0 {
+		gemmMicro8(&c[0], &b[0], &a[0], even, stride)
+	}
+	if n&1 != 0 {
+		j := n - 1
+		s := a[0]*b[j] + a[1]*b[stride+j] + a[2]*b[2*stride+j] + a[3]*b[3*stride+j]
+		s += a[4]*b[4*stride+j] + a[5]*b[5*stride+j] + a[6]*b[6*stride+j] + a[7]*b[7*stride+j]
+		c[j] += s
+	}
+}

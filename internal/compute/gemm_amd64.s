@@ -1,0 +1,83 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func gemmMicro8(c, b, a *float64, n, stride int)
+//
+// c[j] += a[0]*b[j] + a[1]*b[stride+j] + ... + a[7]*b[7*stride+j]
+// for j in [0, n), n even. SSE2 only (amd64 baseline): packed
+// MULPD/ADDPD process two doubles per instruction with the same IEEE
+// rounding as the scalar loop. The per-element summation tree is
+// (((t0+t1)+(t2+t3))+(t4+t5))+(t6+t7) added onto c, fixed by this code
+// alone, so results are independent of the caller's worker partition.
+TEXT ·gemmMicro8(SB), NOSPLIT, $0-40
+	MOVQ c+0(FP), DI
+	MOVQ b+8(FP), SI
+	MOVQ a+16(FP), AX
+	MOVQ n+24(FP), DX
+	MOVQ stride+32(FP), BX
+
+	// Row pointers: SI, R8..R14 point at b + t*stride for t = 0..7.
+	LEAQ (SI)(BX*8), R8
+	LEAQ (R8)(BX*8), R9
+	LEAQ (R9)(BX*8), R10
+	LEAQ (R10)(BX*8), R11
+	LEAQ (R11)(BX*8), R12
+	LEAQ (R12)(BX*8), R13
+	LEAQ (R13)(BX*8), R14
+
+	// Broadcast a[0..7] into both lanes of X8..X15.
+	MOVQ     0(AX), X8
+	UNPCKLPD X8, X8
+	MOVQ     8(AX), X9
+	UNPCKLPD X9, X9
+	MOVQ     16(AX), X10
+	UNPCKLPD X10, X10
+	MOVQ     24(AX), X11
+	UNPCKLPD X11, X11
+	MOVQ     32(AX), X12
+	UNPCKLPD X12, X12
+	MOVQ     40(AX), X13
+	UNPCKLPD X13, X13
+	MOVQ     48(AX), X14
+	UNPCKLPD X14, X14
+	MOVQ     56(AX), X15
+	UNPCKLPD X15, X15
+
+	XORQ CX, CX
+
+loop:
+	MOVUPD (DI)(CX*8), X0
+
+	MOVUPD (SI)(CX*8), X1
+	MULPD  X8, X1
+	MOVUPD (R8)(CX*8), X2
+	MULPD  X9, X2
+	MOVUPD (R9)(CX*8), X3
+	MULPD  X10, X3
+	MOVUPD (R10)(CX*8), X4
+	MULPD  X11, X4
+	ADDPD  X2, X1
+	ADDPD  X4, X3
+	MOVUPD (R11)(CX*8), X5
+	MULPD  X12, X5
+	MOVUPD (R12)(CX*8), X6
+	MULPD  X13, X6
+	ADDPD  X3, X1
+	ADDPD  X6, X5
+	MOVUPD (R13)(CX*8), X2
+	MULPD  X14, X2
+	MOVUPD (R14)(CX*8), X3
+	MULPD  X15, X3
+	ADDPD  X5, X1
+	ADDPD  X3, X2
+	ADDPD  X2, X1
+
+	ADDPD  X1, X0
+	MOVUPD X0, (DI)(CX*8)
+
+	ADDQ $2, CX
+	CMPQ CX, DX
+	JL   loop
+
+	RET

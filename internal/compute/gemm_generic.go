@@ -1,0 +1,24 @@
+//go:build !amd64
+
+package compute
+
+// gemm8 applies an 8-deep k-panel to one row slab of C:
+// c[j] += sum over t < 8 of a[t]*b[t*stride+j]. Pure-Go path for
+// non-amd64 targets; the k-unroll still amortizes one C load/store over
+// eight FMAs.
+func gemm8(c, b, a []float64, stride int) {
+	b0 := b[:len(c)]
+	b1 := b[stride:][:len(c)]
+	b2 := b[2*stride:][:len(c)]
+	b3 := b[3*stride:][:len(c)]
+	b4 := b[4*stride:][:len(c)]
+	b5 := b[5*stride:][:len(c)]
+	b6 := b[6*stride:][:len(c)]
+	b7 := b[7*stride:][:len(c)]
+	for j := range c {
+		s := c[j]
+		s += a[0]*b0[j] + a[1]*b1[j] + a[2]*b2[j] + a[3]*b3[j]
+		s += a[4]*b4[j] + a[5]*b5[j] + a[6]*b6[j] + a[7]*b7[j]
+		c[j] = s
+	}
+}

@@ -1,0 +1,159 @@
+package compute
+
+import "math"
+
+// Reference is the seed engine: the naive loops the calibration kernels
+// shipped with, extracted verbatim from internal/kernels and internal/nn
+// so that the default backend cannot change a single artifact byte. Row
+// parallelism is owner-computes (each output element is produced by one
+// worker with a fixed inner-loop order), so results are identical at any
+// GOMAXPROCS; reductions (Dot, the Jacobi max-norm) run in index order.
+type Reference struct{}
+
+// Name returns "reference".
+func (Reference) Name() string { return "reference" }
+
+// Accelerated reports false: Reference is the artifact-defining engine.
+func (Reference) Accelerated() bool { return false }
+
+// MatMul computes c = a*b in parallel over rows (verbatim the seed
+// kernels.MatMul loop, including the zero-skip).
+func (Reference) MatMul(c, a, b []float64, m, k, n int) {
+	ParallelFor(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a[i*k : (i+1)*k]
+			crow := c[i*n : (i+1)*n]
+			for kk, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b[kk*n : (kk+1)*n]
+				for j, bv := range brow {
+					crow[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// Gemv accumulates y += a*x in parallel over rows. With y zeroed it is
+// the seed kernels.MatVec; with y preloaded with biases it is the seed
+// FC forward loop — both summation orders preserved exactly.
+func (Reference) Gemv(y, a, x []float64, m, n int) {
+	ParallelFor(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := a[i*n : (i+1)*n]
+			s := y[i]
+			for j, v := range row {
+				s += v * x[j]
+			}
+			y[i] = s
+		}
+	})
+}
+
+// Dot returns the sequential in-order inner product (verbatim the seed
+// kernels.Dot).
+func (Reference) Dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Axpy computes y += alpha*x sequentially (verbatim the seed
+// kernels.Axpy).
+func (Reference) Axpy(alpha float64, x, y []float64) {
+	for i := range y {
+		y[i] += alpha * x[i]
+	}
+}
+
+// Triad computes a = b + s*c in parallel (verbatim the seed
+// kernels.StreamTriad; elementwise, so bytes are partition-independent).
+func (Reference) Triad(a, b, c []float64, s float64) {
+	ParallelFor(len(a), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			a[i] = b[i] + s*c[i]
+		}
+	})
+}
+
+// Ger applies a[i*lda+j] += alpha*x[i]*y[j] in parallel over rows,
+// skipping x[i] == 0 rows — exactly the seed LU trailing update, whose
+// row[j] -= l*rowK[j] is bitwise (alpha = -1) the same arithmetic.
+func (Reference) Ger(alpha float64, x, y, a []float64, lda int) {
+	n := len(y)
+	ParallelFor(len(x), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if x[i] == 0 {
+				continue
+			}
+			ax := alpha * x[i]
+			row := a[i*lda : i*lda+n]
+			for j, v := range y {
+				row[j] += ax * v
+			}
+		}
+	})
+}
+
+// Jacobi5 performs one 5-point Jacobi sweep (verbatim the seed
+// kernels.JacobiStep): rows in parallel, per-row max distances reduced
+// in row order.
+func (Reference) Jacobi5(dst, src, f []float64, nx, ny int, h float64) float64 {
+	stride := ny + 2
+	diffs := make([]float64, nx)
+	ParallelFor(nx, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := (i + 1) * stride
+			maxd := 0.0
+			for j := 1; j <= ny; j++ {
+				v := 0.25 * (src[row-stride+j] + src[row+stride+j] +
+					src[row+j-1] + src[row+j+1] + h*h*f[row+j])
+				d := math.Abs(v - src[row+j])
+				if d > maxd {
+					maxd = d
+				}
+				dst[row+j] = v
+			}
+			diffs[i] = maxd
+		}
+	})
+	maxd := 0.0
+	for _, d := range diffs {
+		if d > maxd {
+			maxd = d
+		}
+	}
+	return maxd
+}
+
+// Im2col unrolls the patches sequentially (verbatim the seed nn.Im2col
+// loop nest). dst is the zeroed (c*k*k) x (outH*outW) matrix.
+func (Reference) Im2col(dst, src []float64, c, h, w, k, stride, pad int) {
+	outH := (h+2*pad-k)/stride + 1
+	outW := (w+2*pad-k)/stride + 1
+	cols := outH * outW
+	for ch := 0; ch < c; ch++ {
+		for kh := 0; kh < k; kh++ {
+			for kw := 0; kw < k; kw++ {
+				row := (ch*k+kh)*k + kw
+				for oh := 0; oh < outH; oh++ {
+					ih := oh*stride + kh - pad
+					if ih < 0 || ih >= h {
+						continue
+					}
+					for ow := 0; ow < outW; ow++ {
+						iw := ow*stride + kw - pad
+						if iw < 0 || iw >= w {
+							continue
+						}
+						dst[row*cols+oh*outW+ow] = src[(ch*h+ih)*w+iw]
+					}
+				}
+			}
+		}
+	}
+}

@@ -6,12 +6,15 @@ package kernels
 // values hot, turning ~2 DRAM touches per FLOP into ~2/B.
 
 // MatMulBlocked computes c = a*b with square tiling (block size bs).
+// The block size must be positive: a non-positive bs is a caller bug
+// (it would silently change the modeled operational intensity), so it is
+// rejected rather than defaulted.
 func MatMulBlocked(a, b *Matrix, bs int) (*Matrix, error) {
 	if a.Cols != b.Rows {
 		return nil, errDim
 	}
-	if bs < 1 {
-		bs = 64
+	if bs <= 0 {
+		return nil, errBlockSize
 	}
 	c := NewMatrix(a.Rows, b.Cols)
 	n, m, k := a.Rows, b.Cols, a.Cols
@@ -60,6 +63,13 @@ var errDim = errDimension{}
 type errDimension struct{}
 
 func (errDimension) Error() string { return "kernels: matrix dimension mismatch" }
+
+// ErrBlockSize rejects MatMulBlocked calls with a non-positive tile.
+var errBlockSize = errBlock{}
+
+type errBlock struct{}
+
+func (errBlock) Error() string { return "kernels: block size must be positive" }
 
 // GEMMOperationalIntensity returns the DRAM-level FLOP/byte of a blocked
 // GEMM with tile size bs on 8-byte values: each tile pass streams ~3

@@ -56,9 +56,9 @@ func ConjugateGradient(a Operator, x, b []float64, tol float64, maxIter int) (CG
 			return CGResult{Iterations: it, Residual: math.Sqrt(rrNew) / bnorm}, nil
 		}
 		beta := rrNew / rr
-		for i := range p {
-			p[i] = r[i] + beta*p[i]
-		}
+		// Search-direction update p = r + beta*p: a stream triad with the
+		// destination aliasing c, dispatched through the compute backend.
+		backend().Triad(p, r, p, beta)
 		rr = rrNew
 	}
 	return CGResult{Iterations: maxIter, Residual: math.Sqrt(rr) / bnorm}, nil

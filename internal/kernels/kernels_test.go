@@ -522,3 +522,38 @@ func TestGEMMOperationalIntensityGrowsWithBlock(t *testing.T) {
 		t.Fatalf("OI(100) = %v, want single digits", oi)
 	}
 }
+
+// Non-positive block sizes are caller bugs (they would silently change
+// the modeled operational intensity) and must be rejected, not
+// defaulted.
+func TestMatMulBlockedRejectsBadBlockSize(t *testing.T) {
+	a := NewMatrix(4, 4)
+	b := NewMatrix(4, 4)
+	cases := []struct {
+		bs      int
+		wantErr bool
+	}{
+		{-64, true},
+		{-1, true},
+		{0, true},
+		{1, false},
+		{64, false},
+	}
+	for _, tc := range cases {
+		c, err := MatMulBlocked(a, b, tc.bs)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("bs=%d: accepted", tc.bs)
+			} else if err.Error() != "kernels: block size must be positive" {
+				t.Errorf("bs=%d: unexpected error %q", tc.bs, err)
+			}
+			if c != nil {
+				t.Errorf("bs=%d: non-nil result with error", tc.bs)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("bs=%d: rejected: %v", tc.bs, err)
+		}
+	}
+}

@@ -23,6 +23,7 @@ func Factor(a *Matrix) (*LU, error) {
 	n := a.Rows
 	m := a.Clone()
 	piv := make([]int, n)
+	lcol := make([]float64, n) // scratch: the gathered multiplier column
 	for k := 0; k < n; k++ {
 		// Partial pivoting: largest magnitude in column k.
 		p := k
@@ -48,22 +49,17 @@ func Factor(a *Matrix) (*LU, error) {
 		for i := k + 1; i < n; i++ {
 			m.Set(i, k, m.At(i, k)/pivot)
 		}
-		// Trailing update (the DGEMM-shaped bulk hpl offloads to the GPU),
-		// parallel over rows.
-		rowK := m.Data[k*n : (k+1)*n]
-		parallelFor(n-k-1, func(lo, hi int) {
-			for ii := lo; ii < hi; ii++ {
-				i := k + 1 + ii
-				l := m.At(i, k)
-				if l == 0 {
-					continue
-				}
-				row := m.Data[i*n : (i+1)*n]
-				for j := k + 1; j < n; j++ {
-					row[j] -= l * rowK[j]
-				}
+		// Trailing update (the DGEMM-shaped bulk hpl offloads to the GPU):
+		// a rank-1 update A' -= l ⊗ rowK dispatched through the compute
+		// backend. alpha = -1 makes the backend's += alpha*x[i]*y[j]
+		// bitwise the seed's row[j] -= l*rowK[j].
+		if k+1 < n {
+			for i := k + 1; i < n; i++ {
+				lcol[i-k-1] = m.At(i, k)
 			}
-		})
+			backend().Ger(-1, lcol[:n-k-1], m.Data[k*n+k+1:(k+1)*n],
+				m.Data[(k+1)*n+k+1:], n)
+		}
 	}
 	return &LU{A: m, Piv: piv}, nil
 }

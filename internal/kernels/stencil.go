@@ -23,35 +23,10 @@ func (g *Grid2D) Set(i, j int, v float64) { g.Data[(i+1)*(g.NY+2)+(j+1)] = v }
 
 // JacobiStep performs one weighted-Jacobi sweep for the Poisson problem
 // -lap(u) = f on the unit square (5-point stencil, Dirichlet halo),
-// writing into dst and returning the max-norm change. Rows are processed
-// in parallel.
+// writing into dst and returning the max-norm change. The sweep is the
+// stencil-apply primitive of the compute backend.
 func JacobiStep(dst, src, f *Grid2D, h float64) float64 {
-	nx, ny := src.NX, src.NY
-	stride := ny + 2
-	diffs := make([]float64, nx)
-	parallelFor(nx, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			row := (i + 1) * stride
-			maxd := 0.0
-			for j := 1; j <= ny; j++ {
-				v := 0.25 * (src.Data[row-stride+j] + src.Data[row+stride+j] +
-					src.Data[row+j-1] + src.Data[row+j+1] + h*h*f.Data[row+j])
-				d := math.Abs(v - src.Data[row+j])
-				if d > maxd {
-					maxd = d
-				}
-				dst.Data[row+j] = v
-			}
-			diffs[i] = maxd
-		}
-	})
-	maxd := 0.0
-	for _, d := range diffs {
-		if d > maxd {
-			maxd = d
-		}
-	}
-	return maxd
+	return backend().Jacobi5(dst.Data, src.Data, f.Data, src.NX, src.NY, h)
 }
 
 // DampedJacobiStep performs one weighted-Jacobi sweep with damping factor

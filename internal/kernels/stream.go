@@ -40,13 +40,10 @@ func StreamAdd(a, b, c []float64) {
 	})
 }
 
-// StreamTriad runs a = b + s*c — the headline STREAM kernel.
+// StreamTriad runs a = b + s*c — the headline STREAM kernel, dispatched
+// through the compute backend.
 func StreamTriad(a, b, c []float64, s float64) {
-	parallelFor(len(a), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			a[i] = b[i] + s*c[i]
-		}
-	})
+	backend().Triad(a, b, c, s)
 }
 
 // RunStream measures all four kernels over arrays of n doubles with the

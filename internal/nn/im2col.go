@@ -1,43 +1,48 @@
 package nn
 
-import "clustersoc/internal/kernels"
+import (
+	"fmt"
+
+	"clustersoc/internal/compute"
+	"clustersoc/internal/kernels"
+)
 
 // im2col + GEMM convolution — the algorithm Caffe actually executes on
 // the GPU (and the reason conv layers inherit GEMM's high operational
 // intensity in Table II): the input patches are unrolled into a matrix
 // and the convolution becomes one big multiply against the unrolled
-// weights. ForwardGEMM must produce exactly what the direct loops in
-// Conv.Forward produce.
+// weights. Both the unroll and the GEMM dispatch through the compute
+// backend (internal/compute), so an accelerated engine speeds up exactly
+// the operations cuDNN would.
 
 // Im2col unrolls the input into a (C*K*K) x (outH*outW) matrix for the
-// given convolution geometry. Out-of-bounds taps contribute zeros.
-func Im2col(in *Tensor, k, stride, pad int) *kernels.Matrix {
+// given convolution geometry. Out-of-bounds taps contribute zeros. The
+// geometry is validated: the kernel must be positive and fit inside the
+// zero-padded input, the stride positive, and the padding non-negative —
+// the degenerate cases that would otherwise produce an empty or
+// negatively-shaped patch matrix.
+func Im2col(in *Tensor, k, stride, pad int) (*kernels.Matrix, error) {
+	if in.Shape.C < 1 || in.Shape.H < 1 || in.Shape.W < 1 {
+		return nil, fmt.Errorf("nn: im2col on empty input %v", in.Shape)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("nn: im2col kernel %d must be positive", k)
+	}
+	if stride < 1 {
+		return nil, fmt.Errorf("nn: im2col stride %d must be positive", stride)
+	}
+	if pad < 0 {
+		return nil, fmt.Errorf("nn: im2col padding %d must be non-negative", pad)
+	}
+	if k > in.Shape.H+2*pad || k > in.Shape.W+2*pad {
+		return nil, fmt.Errorf("nn: im2col kernel %d exceeds padded input %dx%d (pad %d)",
+			k, in.Shape.H, in.Shape.W, pad)
+	}
 	outH := (in.Shape.H+2*pad-k)/stride + 1
 	outW := (in.Shape.W+2*pad-k)/stride + 1
-	rows := in.Shape.C * k * k
-	cols := outH * outW
-	m := kernels.NewMatrix(rows, cols)
-	for c := 0; c < in.Shape.C; c++ {
-		for kh := 0; kh < k; kh++ {
-			for kw := 0; kw < k; kw++ {
-				row := (c*k+kh)*k + kw
-				for oh := 0; oh < outH; oh++ {
-					ih := oh*stride + kh - pad
-					if ih < 0 || ih >= in.Shape.H {
-						continue
-					}
-					for ow := 0; ow < outW; ow++ {
-						iw := ow*stride + kw - pad
-						if iw < 0 || iw >= in.Shape.W {
-							continue
-						}
-						m.Set(row, oh*outW+ow, in.At(c, ih, iw))
-					}
-				}
-			}
-		}
-	}
-	return m
+	m := kernels.NewMatrix(in.Shape.C*k*k, outH*outW)
+	compute.Default().Im2col(m.Data, in.Data, in.Shape.C, in.Shape.H, in.Shape.W, k, stride, pad)
+	return m, nil
 }
 
 // ForwardGEMM runs the convolution as weights x im2col(input) + bias,
@@ -54,7 +59,10 @@ func (c *Conv) ForwardGEMM(in *Tensor) (*Tensor, error) {
 		// Slice the group's input channels into a view tensor.
 		gin := NewTensor(Shape{C: inCPerG, H: in.Shape.H, W: in.Shape.W})
 		copy(gin.Data, in.Data[g*inCPerG*in.Shape.H*in.Shape.W:(g+1)*inCPerG*in.Shape.H*in.Shape.W])
-		cols := Im2col(gin, c.K, c.Stride, c.Pad)
+		cols, err := Im2col(gin, c.K, c.Stride, c.Pad)
+		if err != nil {
+			return nil, err
+		}
 
 		// Weight matrix for the group: outCPerG x (inCPerG*K*K).
 		wm := kernels.NewMatrix(outCPerG, inCPerG*c.K*c.K)
