@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"clustersoc/internal/cluster"
+	"clustersoc/internal/critpath"
 	"clustersoc/internal/network"
 	"clustersoc/internal/soc"
 	"clustersoc/internal/units"
@@ -30,6 +31,7 @@ func main() {
 		scale  = flag.Float64("scale", 1.0, "problem scale in (0,1]")
 		list   = flag.Bool("list", false, "list available workloads and exit")
 		traceF = flag.String("trace", "", "write an Extrae-style execution trace to this file (replay it with cmd/replay)")
+		critP  = flag.String("critpath", "", "record the causal event graph, print the blame and what-if tables, and write a critical-path sidecar to this file ('-' prints tables only; inspect sidecars with cmd/whatif)")
 	)
 	flag.Parse()
 
@@ -89,7 +91,17 @@ func main() {
 		cfg.Traced = true
 	}
 
-	res := cluster.New(cfg).Run(w.Body(workloads.Config{Scale: *scale}))
+	cl := cluster.New(cfg)
+	if *critP != "" {
+		cl.RecordCritPath()
+	}
+	res := cl.Run(w.Body(workloads.Config{Scale: *scale}))
+
+	var report *critpath.Report
+	if *critP != "" {
+		report = critpath.Analyze(cl.CritPath(),
+			fmt.Sprintf("%s on %s", w.Name(), cfg.Name), "", res.Runtime)
+	}
 
 	if *traceF != "" {
 		f, err := os.Create(*traceF)
@@ -124,5 +136,24 @@ func main() {
 	if res.GPU.Launches > 0 {
 		fmt.Printf("GPU:           %d launches, L2 util %.2f, mem stalls %.2f\n",
 			res.GPU.Launches, res.GPU.L2Utilization(), res.GPU.MemoryStallFraction())
+	}
+	if report != nil {
+		fmt.Printf("\ncritical-path blame:\n%s\n%s", report.BlameTable(), report.WhatIfTable())
+		if *critP != "-" {
+			f, err := os.Create(*critP)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := critpath.WriteReports(f, []*critpath.Report{report}); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("\ncritical path: %s (inspect with cmd/whatif)\n", *critP)
+		}
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"clustersoc/internal/compute"
+	"clustersoc/internal/critpath"
 	"clustersoc/internal/experiments"
 	"clustersoc/internal/network"
 	"clustersoc/internal/obs"
@@ -46,6 +47,7 @@ func main() {
 		check    = flag.Bool("check", false, "audit every simulated scenario with simcheck (flow conservation, MPI schedule balance, port utilization) and cross-check the collective cost models; violations fail the run")
 		faultsOn = flag.Bool("faults", false, "run the fault-injection study (fault-class matrix + checkpoint-interval sweep); also reachable via -only faults")
 		profile  = flag.Bool("profile", false, "collect per-scenario observability profiles: writes a *.profile.json sidecar and a merged metrics summary on stderr")
+		critPath = flag.Bool("critpath", false, "record the causal event graph of every simulated scenario and write a *.critpath.json sidecar with per-component blame, slack, and what-if bounds (inspect with cmd/whatif)")
 		traceOut = flag.String("trace-out", "", "write a Chrome/Perfetto trace of a representative run (hpl @ 8 nodes, 10GbE) to this file")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the regeneration to this file (host profiling of the simulator itself; written on clean completion)")
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile at exit to this file (written on clean completion)")
@@ -103,6 +105,7 @@ func main() {
 	o.Runner = runner.New(*parallel)
 	o.Runner.SetProfiling(*profile)
 	o.Runner.SetChecking(*check)
+	o.Runner.SetCritPath(*critPath)
 
 	known := map[string]bool{}
 	for _, k := range artifactKeys {
@@ -328,6 +331,9 @@ func main() {
 	if *profile {
 		writeProfileSidecar(o, *jsonPath)
 	}
+	if *critPath {
+		writeCritPathSidecar(o, *jsonPath)
+	}
 
 	if *check {
 		if err := simcheck.Error(simcheck.AuditCollectives()); err != nil {
@@ -376,9 +382,35 @@ func writeProfileSidecar(o experiments.Options, jsonPath string) {
 	fmt.Fprint(os.Stderr, obs.Merge(snaps...).Render())
 }
 
+// writeCritPathSidecar writes the run-plane's collected critical-path
+// reports next to the artifact JSON (or to experiments.critpath.json
+// without -json).
+func writeCritPathSidecar(o experiments.Options, jsonPath string) {
+	sidecar := "experiments.critpath.json"
+	if jsonPath != "" {
+		sidecar = strings.TrimSuffix(jsonPath, ".json") + ".critpath.json"
+	}
+	reports := o.Runner.Reports()
+	f, err := os.Create(sidecar)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := critpath.WriteReports(f, reports); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nwrote %d critical-path reports to %s (inspect with cmd/whatif)\n", len(reports), sidecar)
+}
+
 // writeChromeTrace simulates the representative traced scenario (hpl on
 // the paper's 8-node 10 GbE cluster) and exports it for chrome://tracing
-// or ui.perfetto.dev.
+// or ui.perfetto.dev. With -critpath the export carries a highlighted
+// critical-path track above the per-node lanes.
 func writeChromeTrace(o experiments.Options, path string) {
 	sc, err := experiments.TracedScenario(o, "hpl", 8, network.TenGigE)
 	if err != nil {
@@ -401,7 +433,11 @@ func writeChromeTrace(o experiments.Options, path string) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	if err := obs.WriteChromeTrace(f, res.Trace, snap); err != nil {
+	var highlight []obs.PathSlice
+	if res.CritPath != nil {
+		highlight = res.CritPath.PathSlices()
+	}
+	if err := obs.WriteChromeTraceWithPath(f, res.Trace, snap, highlight); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

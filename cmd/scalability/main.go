@@ -5,6 +5,7 @@
 //
 //	scalability -workload tealeaf3d
 //	scalability -workload ft -net 1g -extrapolate 128
+//	scalability -workload cg -critpath -trace-out cg.trace.json
 package main
 
 import (
@@ -13,6 +14,8 @@ import (
 	"os"
 
 	"clustersoc/internal/core"
+	"clustersoc/internal/critpath"
+	"clustersoc/internal/obs"
 )
 
 func main() {
@@ -22,6 +25,10 @@ func main() {
 		scale       = flag.Float64("scale", 0.08, "problem scale")
 		extrapolate = flag.Int("extrapolate", 64, "extrapolate the fitted curve to this many nodes")
 		parallel    = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = sequential)")
+		check       = flag.Bool("check", false, "audit every simulated scenario with simcheck; violations fail the run")
+		profile     = flag.Bool("profile", false, "collect per-scenario observability profiles and write a scalability.profile.json sidecar")
+		critPath    = flag.Bool("critpath", false, "record causal event graphs, print the largest run's blame table, and write a scalability.critpath.json sidecar (inspect with cmd/whatif)")
+		traceOut    = flag.String("trace-out", "", "write a Chrome/Perfetto trace of the largest traced run to this file")
 	)
 	flag.Parse()
 
@@ -31,7 +38,11 @@ func main() {
 	}
 	sizes := []int{1, 2, 4, 6, 8}
 	session := core.NewSession(*parallel)
-	res, err := session.Scalability(core.TX1(8, net), *workload, sizes, *scale)
+	session.SetChecking(*check)
+	session.SetProfiling(*profile)
+	session.SetCritPath(*critPath)
+	cfg := core.TX1(8, net)
+	res, err := session.Scalability(cfg, *workload, sizes, *scale)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -39,6 +50,9 @@ func main() {
 	st := session.Stats()
 	fmt.Fprintf(os.Stderr, "run-plane: %d scenarios submitted, %d simulated, %d duplicates served from cache (%d workers, peak %d in flight, %.1fs simulation wall)\n",
 		st.Submitted, st.Simulated, st.Hits, session.Runner().Workers(), st.MaxInFlight, st.WallSeconds)
+	if *check {
+		fmt.Fprintf(os.Stderr, "simcheck: %d scenario(s) audited — no invariant violations\n", st.Audited)
+	}
 
 	fmt.Printf("strong scaling of %s on the TX1 cluster (%s)\n\n", *workload, *netArg)
 	fmt.Println("  nodes   runtime(s)   speedup")
@@ -60,4 +74,67 @@ func main() {
 	fmt.Printf("\nwhat-if replays at 8 nodes:\n")
 	fmt.Printf("  ideal network would speed the run up %.2fx\n", res.IdealNetworkGain)
 	fmt.Printf("  ideal load balance would speed it up %.2fx\n", res.IdealLoadBalanceGain)
+
+	// The largest traced run is already cached by Scalability, so the
+	// exports below join the cache instead of re-simulating.
+	largest := sizes[len(sizes)-1]
+	if *traceOut != "" || *critPath {
+		point, err := session.ScalabilityPoint(cfg, *workload, largest, *scale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *critPath && point.CritPath != nil {
+			fmt.Printf("\ncritical-path blame at %d nodes:\n%s\n%s", largest,
+				point.CritPath.BlameTable(), point.CritPath.WhatIfTable())
+		}
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			var path []obs.PathSlice
+			if point.CritPath != nil {
+				path = point.CritPath.PathSlices()
+			}
+			if err := obs.WriteChromeTraceWithPath(f, point.Trace, obs.TraceSnapshot(point.Trace), path); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("\nwrote Chrome trace of the %d-node run to %s (open in chrome://tracing or ui.perfetto.dev)\n", largest, *traceOut)
+		}
+	}
+	if *profile {
+		writeSidecar("scalability.profile.json", func(f *os.File) error {
+			return obs.WriteProfiles(f, session.Profiles())
+		}, len(session.Profiles()), "profiles")
+	}
+	if *critPath {
+		writeSidecar("scalability.critpath.json", func(f *os.File) error {
+			return critpath.WriteReports(f, session.CritPathReports())
+		}, len(session.CritPathReports()), "critical-path reports")
+	}
+}
+
+// writeSidecar creates path and fills it with write, reporting the count.
+func writeSidecar(path string, write func(*os.File) error, n int, what string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := write(f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d %s to %s\n", n, what, path)
 }

@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"clustersoc/internal/critpath"
 	"clustersoc/internal/cuda"
 	"clustersoc/internal/faults"
 	"clustersoc/internal/mpi"
@@ -134,6 +135,8 @@ type Cluster struct {
 	comms    []*mpi.Comm    // every communicator (Comm + SpawnWith's), for auditing
 	checking bool           // propagate match-time validation to new comms
 	inj      *faults.Injector
+	cp       *critpath.Recorder // nil unless RecordCritPath enabled recording
+	jobs     int                // spawnOn calls so far, for entity naming
 }
 
 // New assembles a cluster from a config.
@@ -232,6 +235,25 @@ func (cl *Cluster) EnableChecking() {
 // one first, then SpawnWith's in spawn order) for post-run auditing.
 func (cl *Cluster) Comms() []*mpi.Comm { return cl.comms }
 
+// RecordCritPath turns on causal event-graph recording (internal/critpath)
+// for this run. Like Instrument it must be called before Spawn/Run, and
+// like instrumentation it is strictly passive: the recorder only observes
+// times the simulation already computed, so a recorded run stays
+// bit-identical to an unrecorded one. Deliberately a method, not a Config
+// field — recording is a property of one execution, not of the scenario,
+// and must stay out of the fingerprint.
+func (cl *Cluster) RecordCritPath() {
+	if cl.cp != nil {
+		return
+	}
+	cl.cp = critpath.NewRecorder(cl.Eng)
+	cl.Net.SetDeliveryObserver(cl.cp)
+}
+
+// CritPath returns the recorder attached by RecordCritPath, or nil. The
+// runner analyzes it after Finish.
+func (cl *Cluster) CritPath() *critpath.Recorder { return cl.cp }
+
 // Job tracks one spawned workload's own completion and FLOP tally, so
 // co-scheduled workloads (the Table IV collocation) can report individual
 // throughputs the way the paper's simultaneous hpl runs do.
@@ -283,9 +305,28 @@ func (cl *Cluster) SpawnWith(ranksPerNode int, body func(ctx *Context)) *Job {
 
 func (cl *Cluster) spawnOn(comm *mpi.Comm, ranksPerNode int, body func(ctx *Context)) *Job {
 	job := &Job{}
+	var ents []int32
+	if cl.cp != nil {
+		// One recorded timeline per rank of this communicator. The primary
+		// job keeps bare rank names; co-scheduled jobs are prefixed, since
+		// their rank numbering restarts.
+		prefix := ""
+		if cl.jobs > 0 {
+			prefix = fmt.Sprintf("job%d.", cl.jobs)
+		}
+		ents = make([]int32, comm.Size())
+		for r := range ents {
+			ents[r] = cl.cp.NewEntity(fmt.Sprintf("%srank%d", prefix, r), comm.Node(r))
+		}
+		comm.SetPathRecorder(cl.cp.CommHooks(ents))
+	}
+	cl.jobs++
 	for r := 0; r < comm.Size(); r++ {
 		r := r
 		ctx := &Context{cl: cl, Rank: r, node: cl.Nodes[r/ranksPerNode], comm: comm, job: job}
+		if ents != nil {
+			ctx.cpEnt = ents[r]
+		}
 		p := cl.Eng.Spawn(fmt.Sprintf("rank%d", r), func(p *sim.Process) {
 			ctx.P = p
 			body(ctx)

@@ -1,6 +1,8 @@
 package cluster
 
 import (
+	"fmt"
+
 	"clustersoc/internal/cuda"
 	"clustersoc/internal/faults"
 	"clustersoc/internal/mpi"
@@ -12,13 +14,14 @@ import (
 // CPU compute, CUDA operations, and MPI communication, all instrumented
 // for power, counters, and tracing.
 type Context struct {
-	cl   *Cluster
-	Rank int
-	P    *sim.Process
-	node *Node
-	comm *mpi.Comm
-	job  *Job
-	fst  faults.RankState
+	cl    *Cluster
+	Rank  int
+	P     *sim.Process
+	node  *Node
+	comm  *mpi.Comm
+	job   *Job
+	fst   faults.RankState
+	cpEnt int32 // critpath timeline handle; meaningful only when cl.cp != nil
 }
 
 // Size returns the number of ranks in the communicator.
@@ -79,6 +82,15 @@ func (ctx *Context) ComputeParallel(w soc.CPUWork, cores int) {
 	ctx.node.cpuMemStall += r.MemStallSeconds
 	ctx.node.Meter.AddDRAM(r.DRAMBytes)
 	ctx.creditFlops(w.Flops)
+	if ctx.cl.cp != nil {
+		// The wall-clock stall share of the phase: MemStallSeconds is in
+		// busy core-seconds, the span in wall seconds.
+		stall := 0.0
+		if r.Seconds > 0 {
+			stall = dur * r.MemStallSeconds / r.Seconds
+		}
+		ctx.cl.cp.Compute(ctx.cpEnt, start, ctx.P.Now(), stall, ctx.cl.inj.ComputeFactor(ctx.node.Index))
+	}
 	if ctx.cl.Tracer != nil {
 		ctx.cl.Tracer.RecordCompute(ctx.Rank, dur, start)
 	}
@@ -96,10 +108,15 @@ func (ctx *Context) GPU() *cuda.Device { return ctx.node.GPU }
 func (ctx *Context) Kernel(k cuda.Kernel) {
 	start := ctx.P.Now()
 	ctx.node.GPU.Launch(ctx.P, k)
-	if f := ctx.cl.inj.ComputeFactor(ctx.node.Index); f != 1 {
+	f := ctx.cl.inj.ComputeFactor(ctx.node.Index)
+	stall := ctx.node.GPU.LastLaunchStallSeconds()
+	if f != 1 {
 		ctx.P.Sleep((ctx.P.Now() - start) * (f - 1))
 	}
 	ctx.creditFlops(k.FLOPs)
+	if ctx.cl.cp != nil {
+		ctx.cl.cp.Kernel(ctx.cpEnt, start, ctx.P.Now(), stall, f)
+	}
 	if ctx.cl.Tracer != nil {
 		ctx.cl.Tracer.RecordCompute(ctx.Rank, ctx.P.Now()-start, start)
 	}
@@ -107,9 +124,25 @@ func (ctx *Context) Kernel(k cuda.Kernel) {
 
 // KernelAsync starts a kernel and returns a gate that opens on completion
 // (hpl lookahead). The FLOPs are credited immediately; the trace records
-// the wait at WaitKernel.
+// the wait at WaitKernel. Under critpath recording the helper process is
+// spawned here — with the same name and engine order as the cuda path, so
+// event timing is untouched — and its kernel span lands on a dedicated
+// helper timeline bound to the returned gate.
 func (ctx *Context) KernelAsync(k cuda.Kernel) *sim.Gate {
 	ctx.creditFlops(k.FLOPs)
+	if cp := ctx.cl.cp; cp != nil {
+		d := ctx.node.GPU
+		aux := cp.SpawnAux(ctx.cpEnt, fmt.Sprintf("gpu%d:%s", ctx.node.Index, k.Name), ctx.node.Index)
+		g := &sim.Gate{}
+		cp.BindGate(g, aux)
+		ctx.cl.Eng.Spawn("cuda-async:"+k.Name, func(hp *sim.Process) {
+			s0 := hp.Now()
+			d.Launch(hp, k)
+			cp.Kernel(aux, s0, hp.Now(), d.LastLaunchStallSeconds(), 1)
+			g.Open(ctx.cl.Eng)
+		})
+		return g
+	}
 	return ctx.node.GPU.LaunchAsync(k)
 }
 
@@ -117,6 +150,9 @@ func (ctx *Context) KernelAsync(k cuda.Kernel) *sim.Gate {
 func (ctx *Context) WaitKernel(g *sim.Gate) {
 	start := ctx.P.Now()
 	g.Wait(ctx.P)
+	if ctx.cl.cp != nil {
+		ctx.cl.cp.GateWait(ctx.cpEnt, g, start, ctx.P.Now())
+	}
 	if ctx.cl.Tracer != nil {
 		ctx.cl.Tracer.RecordCompute(ctx.Rank, ctx.P.Now()-start, start)
 	}
@@ -126,6 +162,9 @@ func (ctx *Context) WaitKernel(g *sim.Gate) {
 func (ctx *Context) CopyIn(bytes float64) {
 	start := ctx.P.Now()
 	ctx.node.GPU.CopyIn(ctx.P, bytes)
+	if ctx.cl.cp != nil {
+		ctx.cl.cp.Copy(ctx.cpEnt, start, ctx.P.Now())
+	}
 	if ctx.cl.Tracer != nil {
 		ctx.cl.Tracer.RecordCopy(ctx.Rank, ctx.P.Now()-start, start)
 	}
@@ -135,6 +174,9 @@ func (ctx *Context) CopyIn(bytes float64) {
 func (ctx *Context) CopyOut(bytes float64) {
 	start := ctx.P.Now()
 	ctx.node.GPU.CopyOut(ctx.P, bytes)
+	if ctx.cl.cp != nil {
+		ctx.cl.cp.Copy(ctx.cpEnt, start, ctx.P.Now())
+	}
 	if ctx.cl.Tracer != nil {
 		ctx.cl.Tracer.RecordCopy(ctx.Rank, ctx.P.Now()-start, start)
 	}
@@ -166,7 +208,13 @@ func (ctx *Context) StageIn(bytes float64) {
 // takes a checkpoint when the plan's interval has elapsed; otherwise it
 // is free and changes nothing.
 func (ctx *Context) Checkpoint(stateBytes float64) {
+	start := ctx.P.Now()
 	ctx.cl.inj.Checkpoint(ctx.P, ctx.node.Index, &ctx.fst, stateBytes)
+	if ctx.cl.cp != nil {
+		// Any time the hook consumed is fault-plane overhead: checkpoint
+		// writes, crash outage settlement, redone work.
+		ctx.cl.cp.Fault(ctx.cpEnt, start, ctx.P.Now())
+	}
 }
 
 // Phase marks an iteration boundary for PARAVER-style trace chopping.
@@ -241,6 +289,9 @@ const LocalStorageBandwidth = 150e6
 func (ctx *Context) ReadLocal(bytes float64) {
 	start := ctx.P.Now()
 	ctx.P.Sleep(bytes / LocalStorageBandwidth)
+	if ctx.cl.cp != nil {
+		ctx.cl.cp.Copy(ctx.cpEnt, start, ctx.P.Now())
+	}
 	if ctx.cl.Tracer != nil {
 		ctx.cl.Tracer.RecordCopy(ctx.Rank, ctx.P.Now()-start, start)
 	}
@@ -256,7 +307,16 @@ func (ctx *Context) Fetch(bytes float64) {
 	server := ctx.cl.Cfg.Nodes // last switch port
 	_, arrival := ctx.cl.Net.Deliver(server, ctx.node.Index, bytes)
 	start := ctx.P.Now()
+	var fetchID int32
+	if ctx.cl.cp != nil {
+		// Claim the Deliver booking before sleeping: another rank's send
+		// would overwrite the pending slot while this process is parked.
+		fetchID = ctx.cl.cp.FetchStart(ctx.cpEnt)
+	}
 	ctx.P.SleepUntil(arrival)
+	if ctx.cl.cp != nil {
+		ctx.cl.cp.FetchDone(ctx.cpEnt, fetchID, start, ctx.P.Now())
+	}
 	if ctx.cl.Tracer != nil {
 		ctx.cl.Tracer.RecordCopy(ctx.Rank, ctx.P.Now()-start, start)
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"clustersoc/internal/cluster"
+	"clustersoc/internal/critpath"
 	"clustersoc/internal/dimemas"
 	"clustersoc/internal/network"
 	"clustersoc/internal/obs"
@@ -47,6 +48,18 @@ func (s *Session) SetProfiling(on bool) { s.r.SetProfiling(on) }
 // fingerprint.
 func (s *Session) Profiles() []*obs.Profile { return s.r.Profiles() }
 
+// SetChecking toggles the simcheck physical-invariant audit on the
+// session's run-plane (see runner.Runner.SetChecking).
+func (s *Session) SetChecking(on bool) { s.r.SetChecking(on) }
+
+// SetCritPath toggles causal event-graph recording and critical-path
+// analysis on the session's run-plane (see runner.Runner.SetCritPath).
+func (s *Session) SetCritPath(on bool) { s.r.SetCritPath(on) }
+
+// CritPathReports returns the critical-path reports collected so far,
+// sorted by scenario fingerprint.
+func (s *Session) CritPathReports() []*critpath.Report { return s.r.Reports() }
+
 // scenario validates and normalizes a run request the way core.Run does.
 func scenario(cfg cluster.Config, workload string, wcfg workloads.Config) (runner.Scenario, error) {
 	w, err := workloads.ByName(workload)
@@ -79,6 +92,30 @@ func (s *Session) RunWithConfig(cfg cluster.Config, workload string, wcfg worklo
 	return res.Result, err
 }
 
+// scalabilityScenario builds the traced scenario Scalability simulates
+// at one cluster size, so callers wanting the raw run-plane Result (the
+// Trace for exporters, the CritPath report) hit the same cache entries.
+func scalabilityScenario(cfg cluster.Config, w workloads.Workload, nodes int, scale float64) runner.Scenario {
+	c := cfg
+	c.Nodes = nodes
+	c.RanksPerNode = w.RanksPerNode()
+	c.Traced = true
+	return runner.Scenario{Cluster: c, Workload: w.Name(), Config: workloads.Config{Scale: scale}}
+}
+
+// ScalabilityPoint runs (or joins from the session cache) the traced
+// scenario Scalability simulates at one cluster size and returns the
+// full run-plane Result: the Trace for the exporters, and the CritPath
+// report when recording is enabled. After a Scalability call covering
+// the same size it is a guaranteed cache hit.
+func (s *Session) ScalabilityPoint(cfg cluster.Config, workload string, nodes int, scale float64) (runner.Result, error) {
+	w, err := workloads.ByName(workload)
+	if err != nil {
+		return runner.Result{}, err
+	}
+	return s.r.Run(scalabilityScenario(cfg, w, nodes, scale))
+}
+
 // Scalability traces a workload across cluster sizes on the system type
 // of cfg (the node/network choice; Nodes is overridden per point) and
 // runs the replay decomposition. The per-size runs are independent, so
@@ -90,15 +127,7 @@ func (s *Session) Scalability(cfg cluster.Config, workload string, sizes []int, 
 	}
 	var scenarios []runner.Scenario
 	for _, n := range sizes {
-		c := cfg
-		c.Nodes = n
-		c.RanksPerNode = w.RanksPerNode()
-		c.Traced = true
-		scenarios = append(scenarios, runner.Scenario{
-			Cluster:  c,
-			Workload: workload,
-			Config:   workloads.Config{Scale: scale},
-		})
+		scenarios = append(scenarios, scalabilityScenario(cfg, w, n, scale))
 	}
 	results, err := s.r.RunAll(scenarios)
 	if err != nil {

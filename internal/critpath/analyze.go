@@ -1,0 +1,372 @@
+package critpath
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Segment is one maximal critical-path interval: the path ran on entity
+// Entity (hosted on Node) and its time was charged to Component.
+type Segment struct {
+	Entity    string  `json:"entity"`
+	Node      int     `json:"node"`
+	Component string  `json:"component"`
+	Start     float64 `json:"start"`
+	End       float64 `json:"end"`
+}
+
+// LinkSlack aggregates per-message slack over one directed node pair.
+// Slack is how long a message's payload sat delivered before its receive
+// was posted — the conservative-lookahead headroom of the link. Blocking
+// counts messages a receiver was already waiting for (zero slack).
+type LinkSlack struct {
+	SrcNode   int     `json:"src_node"`
+	DstNode   int     `json:"dst_node"`
+	Messages  int     `json:"messages"`
+	Blocking  int     `json:"blocking"`
+	MinSlack  float64 `json:"min_slack_s"`
+	MeanSlack float64 `json:"mean_slack_s"`
+}
+
+// WhatIf holds the forward-replay makespan bounds.
+type WhatIf struct {
+	// Replayed is the unmodified replay — a fidelity check that the
+	// recorded graph reproduces the observed makespan.
+	Replayed float64 `json:"replayed_s"`
+	// IdealNetwork zeroes every message cost (queueing, service, latency):
+	// the makespan if the interconnect were infinitely fast.
+	IdealNetwork float64 `json:"ideal_network_s"`
+	// NoStragglers divides stretched compute/kernel spans by their
+	// straggler factor: the makespan with degraded nodes healed.
+	NoStragglers float64 `json:"no_stragglers_s"`
+	// NoDRAMStall removes the memory-stall share of compute and kernel
+	// spans: the makespan with an uncontended memory system.
+	NoDRAMStall float64 `json:"no_dram_stall_s"`
+}
+
+// Report is the analysis result shipped in the *.critpath.json sidecar.
+type Report struct {
+	Scenario    string  `json:"scenario"`
+	Fingerprint string  `json:"fingerprint,omitempty"`
+	Makespan    float64 `json:"makespan_s"`
+	// Blame charges every second of makespan to one component bucket;
+	// values sum to Makespan by construction.
+	Blame map[string]float64 `json:"blame_s"`
+	// RankSeconds is the aggregate (non-causal) view: total rank-seconds
+	// per bucket across all rank timelines, waits counted as mpi-blocked.
+	// Values sum to Makespan x ranks.
+	RankSeconds map[string]float64 `json:"rank_seconds"`
+	WhatIf      WhatIf             `json:"what_if"`
+	Links       []LinkSlack        `json:"links,omitempty"`
+	// Path is the critical path itself, oldest segment first.
+	Path     []Segment `json:"path,omitempty"`
+	Entities int       `json:"entities"`
+	Spans    int       `json:"spans"`
+	Messages int       `json:"messages"`
+}
+
+// Analyze extracts the critical path from a finished recording. makespan
+// is the run's observed wall time (engine end time); the walk starts
+// there and pads any trailing window after the last recorded span (e.g.
+// the asynchronous DRAM drain) as idle.
+func Analyze(r *Recorder, scenario, fingerprint string, makespan float64) *Report {
+	r.seal()
+	w := &walker{r: r, idx: make([]int, len(r.ents))}
+	for i := range r.ents {
+		w.idx[i] = len(r.ents[i].spans) - 1
+	}
+	w.walk(makespan)
+
+	rep := &Report{
+		Scenario:    scenario,
+		Fingerprint: fingerprint,
+		Makespan:    makespan,
+		Blame:       make(map[string]float64, numComponents),
+		RankSeconds: rankSeconds(r, makespan),
+		WhatIf: WhatIf{
+			Replayed:     replay(r, replayOpts{}),
+			IdealNetwork: replay(r, replayOpts{idealNet: true}),
+			NoStragglers: replay(r, replayOpts{noStragglers: true}),
+			NoDRAMStall:  replay(r, replayOpts{noDRAMStall: true}),
+		},
+		Links:    linkSlack(r),
+		Path:     w.segments(),
+		Entities: len(r.ents),
+		Spans:    r.Spans(),
+		Messages: len(r.msgs),
+	}
+	for c := Component(0); c < numComponents; c++ {
+		rep.Blame[c.String()] = w.blame[c]
+	}
+	return rep
+}
+
+// walker runs the backward critical-path traversal. At every moment the
+// cursor (entity e, time t) names the activity that had to finish at t
+// for the run to finish when it did; processing a span moves the cursor
+// earlier, possibly jumping to the sender of the message (or the helper
+// behind the gate) whose completion released the entity.
+type walker struct {
+	r     *Recorder
+	idx   []int // per-entity cursor into spans, from the back
+	blame [numComponents]float64
+	segs  []Segment // appended newest-first, reversed at the end
+}
+
+// charge attributes [from, min(hi,t)] on entity e to component c and
+// returns the possibly clipped upper bound actually used.
+func (w *walker) charge(e int32, c Component, from, to float64) {
+	if to <= from {
+		return
+	}
+	w.blame[c] += to - from
+	en := &w.r.ents[e]
+	// Merge with the previous (later-in-time) segment when contiguous.
+	if n := len(w.segs); n > 0 {
+		last := &w.segs[n-1]
+		if last.Entity == en.name && last.Component == c.String() && last.Start == to {
+			last.Start = from
+			return
+		}
+	}
+	w.segs = append(w.segs, Segment{
+		Entity: en.name, Node: int(en.node), Component: c.String(), Start: from, End: to,
+	})
+}
+
+// segments returns the path oldest-first.
+func (w *walker) segments() []Segment {
+	for i, j := 0, len(w.segs)-1; i < j; i, j = i+1, j-1 {
+		w.segs[i], w.segs[j] = w.segs[j], w.segs[i]
+	}
+	return w.segs
+}
+
+func (w *walker) walk(makespan float64) {
+	r := w.r
+	// Start on the entity whose last span finishes latest; ties break on
+	// the larger record sequence (the engine's total order).
+	e := int32(-1)
+	bestEnd, bestSeq := math.Inf(-1), uint64(0)
+	for i := range r.ents {
+		spans := r.ents[i].spans
+		if len(spans) == 0 {
+			continue
+		}
+		last := spans[len(spans)-1]
+		if last.end > bestEnd || (last.end == bestEnd && last.seq > bestSeq) {
+			e, bestEnd, bestSeq = int32(i), last.end, last.seq
+		}
+	}
+	if e < 0 {
+		// Nothing recorded: the whole run is unattributed.
+		if makespan > 0 {
+			w.blame[CompIdle] += makespan
+		}
+		return
+	}
+	t := makespan
+	// Every iteration either strictly lowers t or consumes a span/entity,
+	// so the walk is bounded by spans + entities (+1 slack per jump).
+	maxSteps := 4*r.Spans() + 2*len(r.ents) + 16
+	for steps := 0; t > 0; steps++ {
+		if steps > maxSteps {
+			panic("critpath: backward walk failed to make progress (recording bug)")
+		}
+		en := &r.ents[e]
+		i := w.idx[e]
+		for i >= 0 && en.spans[i].start >= t {
+			i--
+		}
+		w.idx[e] = i
+		if i < 0 {
+			if en.parent >= 0 {
+				// An exhausted helper hands the path back to its parent at
+				// its spawn time.
+				if en.origin < t {
+					w.charge(e, CompIdle, en.origin, t)
+					t = en.origin
+				}
+				e = en.parent
+				continue
+			}
+			w.charge(e, CompIdle, 0, t)
+			return
+		}
+		s := &en.spans[i]
+		if s.end < t {
+			w.charge(e, CompIdle, s.end, t)
+			t = s.end
+		}
+		// Invariant here: s.start < t <= s.end.
+		switch s.kind {
+		case spanCompute, spanKernel:
+			comp := CompCPU
+			if s.kind == spanKernel {
+				comp = CompGPU
+			}
+			frac := 1.0
+			if s.end > s.start {
+				frac = (t - s.start) / (s.end - s.start)
+			}
+			stall := math.Min(s.stall*frac, t-s.start)
+			w.charge(e, comp, s.start+stall, t)
+			w.charge(e, CompDRAMStall, s.start, s.start+stall)
+			t = s.start
+			w.idx[e] = i - 1
+		case spanCopy:
+			w.charge(e, CompCopy, s.start, t)
+			t = s.start
+			w.idx[e] = i - 1
+		case spanFault:
+			w.charge(e, CompFault, s.start, t)
+			t = s.start
+			w.idx[e] = i - 1
+		case spanSend:
+			// The sender's own drain window: queueing then wire service,
+			// clipped to the cursor.
+			m := &r.msgs[s.ref]
+			w.charge(e, m.wireComponent(), m.start, math.Min(t, m.free))
+			w.charge(e, m.preComponent(), s.start, math.Min(t, m.start))
+			t = s.start
+			w.idx[e] = i - 1
+		case spanRecv:
+			m := &r.msgs[s.ref]
+			w.idx[e] = i - 1
+			if t == s.end {
+				// The wait ended when the message arrived: unwind the
+				// transfer (service + latency as wire time, then queueing —
+				// charged to the receiving timeline) and jump to the sender
+				// at its post. Charges are issued newest-first so the
+				// backward-built segment list stays ordered.
+				w.charge(e, m.wireComponent(), math.Min(m.start, t), t)
+				w.charge(e, m.preComponent(), m.post, math.Min(m.start, t))
+				if m.srcEnt >= 0 {
+					e = m.srcEnt
+				}
+				t = m.post
+			} else {
+				// Mid-wait cursor (defensive): the wait itself is the path.
+				w.charge(e, CompBlocked, s.start, t)
+				t = s.start
+			}
+		case spanFetch:
+			// Like a receive, but the server is passive: unwind the booking
+			// on this timeline and continue before the post.
+			m := &r.msgs[s.ref]
+			w.charge(e, m.wireComponent(), math.Min(m.start, t), t)
+			w.charge(e, m.preComponent(), m.post, math.Min(m.start, t))
+			t = m.post
+			w.idx[e] = i - 1
+		case spanGateWait:
+			w.idx[e] = i - 1
+			if t == s.end && s.ref >= 0 {
+				// The kernel's completion opened the gate: follow the helper.
+				e = s.ref
+			} else {
+				w.charge(e, CompBlocked, s.start, t)
+				t = s.start
+			}
+		case spanSpawn:
+			// Zero-duration marker; skipped by the start >= t advance, but
+			// land here defensively if t sits exactly past it.
+			w.idx[e] = i - 1
+		default:
+			panic(fmt.Sprintf("critpath: unknown span kind %d", s.kind))
+		}
+	}
+}
+
+// charge order note: the walker charges sub-intervals newest-first so the
+// backward-built segment list stays sorted.
+
+// rankSeconds computes the aggregate per-bucket rank-seconds view over
+// top-level (rank) timelines: every span contributes its full duration,
+// waits count as mpi-blocked, and the remainder up to makespan is idle.
+// Asynchronous helpers are excluded — their kernels overlap the rank's
+// own work and would double-count wall time.
+func rankSeconds(r *Recorder, makespan float64) map[string]float64 {
+	var acc [numComponents]float64
+	ranks := 0
+	for i := range r.ents {
+		en := &r.ents[i]
+		if en.parent >= 0 {
+			continue
+		}
+		ranks++
+		covered := 0.0
+		for j := range en.spans {
+			s := &en.spans[j]
+			dur := s.end - s.start
+			covered += dur
+			switch s.kind {
+			case spanCompute:
+				acc[CompDRAMStall] += math.Min(s.stall, dur)
+				acc[CompCPU] += dur - math.Min(s.stall, dur)
+			case spanKernel:
+				acc[CompDRAMStall] += math.Min(s.stall, dur)
+				acc[CompGPU] += dur - math.Min(s.stall, dur)
+			case spanCopy:
+				acc[CompCopy] += dur
+			case spanFault:
+				acc[CompFault] += dur
+			case spanSend:
+				m := &r.msgs[s.ref]
+				svc := math.Min(m.free, s.end) - math.Min(m.start, s.end)
+				acc[m.wireComponent()] += math.Max(0, svc)
+				acc[m.preComponent()] += math.Max(0, dur-math.Max(0, svc))
+			case spanRecv, spanGateWait:
+				acc[CompBlocked] += dur
+			case spanFetch:
+				m := &r.msgs[s.ref]
+				pre := math.Min(m.start, s.end) - s.start
+				acc[m.preComponent()] += math.Max(0, pre)
+				acc[m.wireComponent()] += math.Max(0, dur-math.Max(0, pre))
+			}
+		}
+		acc[CompIdle] += math.Max(0, makespan-covered)
+	}
+	out := make(map[string]float64, numComponents)
+	for c := Component(0); c < numComponents; c++ {
+		out[c.String()] = acc[c]
+	}
+	return out
+}
+
+// linkSlack aggregates per-message slack into directed node-pair rows.
+func linkSlack(r *Recorder) []LinkSlack {
+	type lk struct{ src, dst int32 }
+	agg := make(map[lk]*LinkSlack)
+	for i := range r.msgs {
+		m := &r.msgs[i]
+		if !m.matched {
+			continue
+		}
+		k := lk{m.srcNode, m.dstNode}
+		row := agg[k]
+		if row == nil {
+			row = &LinkSlack{SrcNode: int(m.srcNode), DstNode: int(m.dstNode), MinSlack: math.Inf(1)}
+			agg[k] = row
+		}
+		slack := math.Max(0, m.recvPost-m.arrival)
+		row.Messages++
+		if slack == 0 {
+			row.Blocking++
+		}
+		row.MinSlack = math.Min(row.MinSlack, slack)
+		row.MeanSlack += slack
+	}
+	out := make([]LinkSlack, 0, len(agg))
+	for _, row := range agg {
+		row.MeanSlack /= float64(row.Messages)
+		out = append(out, *row)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].SrcNode != out[j].SrcNode {
+			return out[i].SrcNode < out[j].SrcNode
+		}
+		return out[i].DstNode < out[j].DstNode
+	})
+	return out
+}

@@ -1,0 +1,266 @@
+// Integration tests of the critical-path analyzer against real simulated
+// runs: blame conservation, replay fidelity, the dimemas cross-check,
+// sidecar round-trips, and the BENCH_GUARD recording-overhead guard.
+package critpath_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"math"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"clustersoc/internal/cluster"
+	"clustersoc/internal/core"
+	"clustersoc/internal/critpath"
+	"clustersoc/internal/dimemas"
+	"clustersoc/internal/runner"
+	"clustersoc/internal/workloads"
+)
+
+// scenario builds a runner scenario the way core.Session does: ranks per
+// node from the workload, clamped to the CPU core count.
+func scenario(t *testing.T, workload string, nodes int, net core.NetworkChoice, scale float64, traced bool) runner.Scenario {
+	t.Helper()
+	cfg := core.TX1(nodes, net)
+	w, err := workloads.ByName(workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.RanksPerNode = w.RanksPerNode()
+	if cfg.NodeType.CPU.Cores < cfg.RanksPerNode {
+		cfg.RanksPerNode = cfg.NodeType.CPU.Cores
+	}
+	cfg.Traced = traced
+	return runner.Scenario{Cluster: cfg, Workload: workload, Config: workloads.Config{Scale: scale}}
+}
+
+func analyzed(t *testing.T, s runner.Scenario) *critpath.Report {
+	t.Helper()
+	res, err := runner.ExecuteCritPath(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CritPath == nil {
+		t.Fatal("ExecuteCritPath returned no report")
+	}
+	return res.CritPath
+}
+
+// TestBlameSumsToMakespan is the analyzer's conservation law: every
+// second of the makespan is attributed to exactly one component, so the
+// blame buckets sum back to the observed runtime (CI holds this within
+// 0.1%; the construction makes it machine-precision exact).
+func TestBlameSumsToMakespan(t *testing.T) {
+	cases := []struct {
+		name string
+		s    runner.Scenario
+	}{
+		{"cg-10g", scenario(t, "cg", 8, core.TenGigE, 0.04, false)},
+		{"cg-1g", scenario(t, "cg", 8, core.GigE, 0.04, false)},
+		{"hpl-10g", scenario(t, "hpl", 4, core.TenGigE, 0.04, false)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep := analyzed(t, tc.s)
+			if rep.Makespan <= 0 {
+				t.Fatalf("makespan = %g", rep.Makespan)
+			}
+			var sum float64
+			for _, v := range rep.Blame {
+				sum += v
+			}
+			if rel := math.Abs(sum-rep.Makespan) / rep.Makespan; rel > 1e-3 {
+				t.Fatalf("blame sums to %g but makespan is %g (rel %.2e, budget 0.1%%)\nblame: %v",
+					sum, rep.Makespan, rel, rep.Blame)
+			}
+			// The forward replay over the recorded graph must reproduce the
+			// observed makespan: if it cannot, the happens-before edges are
+			// incomplete and the what-if bounds are untrustworthy.
+			if rel := math.Abs(rep.WhatIf.Replayed-rep.Makespan) / rep.Makespan; rel > 5e-3 {
+				t.Fatalf("replay fidelity: replayed %g vs observed %g (rel %.2e, budget 0.5%%)",
+					rep.WhatIf.Replayed, rep.Makespan, rel)
+			}
+			// The bounds are bounds.
+			if rep.WhatIf.IdealNetwork > rep.WhatIf.Replayed*(1+1e-9) {
+				t.Fatalf("ideal network %g exceeds baseline %g", rep.WhatIf.IdealNetwork, rep.WhatIf.Replayed)
+			}
+			if len(rep.Path) == 0 {
+				t.Fatal("empty critical path")
+			}
+			// Path segments tile [0, makespan] back to front without gaps.
+			if last := rep.Path[len(rep.Path)-1]; math.Abs(last.End-rep.Makespan) > 1e-12 {
+				t.Fatalf("path ends at %g, makespan %g", last.End, rep.Makespan)
+			}
+			if first := rep.Path[0]; first.Start != 0 {
+				t.Fatalf("path starts at %g, want 0", first.Start)
+			}
+			for i := 1; i < len(rep.Path); i++ {
+				if rep.Path[i].Start != rep.Path[i-1].End {
+					t.Fatalf("path gap between segment %d (end %g) and %d (start %g)",
+						i-1, rep.Path[i-1].End, i, rep.Path[i].Start)
+				}
+			}
+		})
+	}
+}
+
+// TestIdealNetworkMatchesDimemas cross-checks the analyzer's analytic
+// ideal-network bound against the independent dimemas trace replay on
+// the reference scenario (cg is fully synchronous, so the two recipes
+// model the same limit; the async-kernel workloads legitimately differ).
+func TestIdealNetworkMatchesDimemas(t *testing.T) {
+	s := scenario(t, "cg", 8, core.TenGigE, 0.04, true)
+	res, err := runner.ExecuteCritPath(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil {
+		t.Fatal("no trace recorded")
+	}
+	ref := dimemas.Replay(res.Trace, dimemas.Options{Net: dimemas.IdealNetwork})
+	got := res.CritPath.WhatIf.IdealNetwork
+	if rel := math.Abs(got-ref) / ref; rel > 1e-3 {
+		t.Fatalf("ideal-network what-if %g vs dimemas replay %g (rel %.2e, budget 0.1%%)", got, ref, rel)
+	}
+}
+
+// TestRecordingLeavesResultIdentical locks in the opt-in guarantee at
+// the Result level: a recorded run's JSON-visible fields are byte-equal
+// to an unrecorded run's (CritPath is json:"-" exactly so sidecars, not
+// result artifacts, carry the analysis).
+func TestRecordingLeavesResultIdentical(t *testing.T) {
+	s := scenario(t, "cg", 4, core.TenGigE, 0.04, true)
+	off, err := runner.Execute(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := runner.ExecuteCritPath(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offJSON, err := json.Marshal(off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onJSON, err := json.Marshal(on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(offJSON, onJSON) {
+		t.Fatalf("recording changed the result artifact:\noff: %s\non:  %s", offJSON, onJSON)
+	}
+}
+
+func sampleReport(fp string) *critpath.Report {
+	return &critpath.Report{
+		Scenario:    "cg on " + fp,
+		Fingerprint: fp,
+		Makespan:    1.5,
+		Blame:       map[string]float64{"cpu-compute": 1.0, "nic-wire": 0.5},
+		RankSeconds: map[string]float64{"cpu-compute": 4.0},
+		WhatIf:      critpath.WhatIf{Replayed: 1.5, IdealNetwork: 1.0, NoStragglers: 1.5, NoDRAMStall: 1.4},
+		Path:        []critpath.Segment{{Entity: "rank0", Component: "cpu-compute", Start: 0, End: 1.5}},
+	}
+}
+
+func TestReportSidecarRoundTrip(t *testing.T) {
+	in := []*critpath.Report{sampleReport("bbb"), sampleReport("aaa")}
+	var buf bytes.Buffer
+	if err := critpath.WriteReports(&buf, in); err != nil {
+		t.Fatalf("WriteReports: %v", err)
+	}
+	out, err := critpath.ReadReports(&buf)
+	if err != nil {
+		t.Fatalf("ReadReports: %v", err)
+	}
+	if len(out) != 2 || out[0].Fingerprint != "aaa" || out[1].Fingerprint != "bbb" {
+		t.Fatalf("round trip lost sorting or reports: %+v", out)
+	}
+	if out[0].Blame["cpu-compute"] != 1.0 || out[0].WhatIf.IdealNetwork != 1.0 {
+		t.Fatalf("round trip lost values: %+v", out[0])
+	}
+	if in[0].Fingerprint != "bbb" {
+		t.Fatal("WriteReports reordered the caller's slice")
+	}
+}
+
+func TestReportSidecarRejectsDuplicates(t *testing.T) {
+	var buf bytes.Buffer
+	err := critpath.WriteReports(&buf, []*critpath.Report{sampleReport("x"), sampleReport("x")})
+	if !errors.Is(err, critpath.ErrDuplicateReport) {
+		t.Fatalf("WriteReports on duplicates = %v, want ErrDuplicateReport", err)
+	}
+}
+
+// TestCritPathOverheadGuard bounds the recording tax on the engine loop:
+// with recording on, the simulation may run at most 10% slower (events/s)
+// than with it off. Analysis happens after the engine stops, so it sits
+// outside the timed window — but it still runs each iteration so chunk
+// storage recycles exactly as in production. Timing-based, so it only
+// runs under BENCH_GUARD=1 (a dedicated CI step).
+func TestCritPathOverheadGuard(t *testing.T) {
+	if os.Getenv("BENCH_GUARD") == "" {
+		t.Skip("timing guard: set BENCH_GUARD=1 to run")
+	}
+	s := scenario(t, "cg", 8, core.TenGigE, 0.04, false)
+	w, err := workloads.ByName(s.Workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := w.Body(s.Config)
+	run := func(record bool) time.Duration {
+		cl := cluster.New(s.Cluster)
+		if record {
+			cl.RecordCritPath()
+		}
+		// Drain GC debt from the previous iteration's analysis so the
+		// timed window measures recording, not deferred collection.
+		runtime.GC()
+		start := time.Now()
+		res := cl.Run(body)
+		d := time.Since(start)
+		if record {
+			critpath.Analyze(cl.CritPath(), "guard", "", res.Runtime)
+		}
+		return d
+	}
+	run(false) // warm up both paths
+	run(true)
+	// Each round times a block of unrecorded runs back-to-back with a block
+	// of recorded runs and takes the best of each; the guard passes on the
+	// minimum per-round ratio. Blocks rather than strict alternation
+	// because the recorder recycles its chunk storage through sync.Pools
+	// and the GC fence between runs empties the pools' victim caches after
+	// two collections — only consecutive recorded runs reach the steady
+	// state the bound is about (a -critpath process records every run).
+	// The per-round minimum asks whether any quiet window shows recording
+	// within budget: machine drift (CPU frequency shifts, noisy
+	// neighbours) poisons some windows, but a genuine regression past the
+	// budget shows up in all of them.
+	const rounds, perRound = 5, 4
+	best := func(record bool) time.Duration {
+		m := time.Duration(math.MaxInt64)
+		for i := 0; i < perRound; i++ {
+			if d := run(record); d < m {
+				m = d
+			}
+		}
+		return m
+	}
+	ratio := math.Inf(1)
+	var off, on time.Duration
+	for r := 0; r < rounds; r++ {
+		o, n := best(false), best(true)
+		if q := float64(n) / float64(o); q < ratio {
+			ratio, off, on = q, o, n
+		}
+	}
+	t.Logf("recorded %v vs unrecorded %v (ratio %.3f)", on, off, ratio)
+	if ratio > 1.10 {
+		t.Fatalf("recording costs %.1f%% (budget 10%%): %v vs %v", 100*(ratio-1), on, off)
+	}
+}

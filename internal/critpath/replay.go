@@ -1,0 +1,122 @@
+package critpath
+
+import "math"
+
+// replayOpts selects one counterfactual. Exactly one flag is set per
+// what-if; the zero value replays the recorded costs unmodified (the
+// fidelity baseline).
+type replayOpts struct {
+	idealNet     bool // message costs (queueing, service, latency) -> 0
+	noStragglers bool // divide stretched compute/kernel spans by their factor
+	noDRAMStall  bool // subtract the memory-stall share of compute/kernels
+}
+
+// replay runs the recorded graph forward under modified costs — the
+// dimemas recipe over causal spans: every entity advances a clock through
+// its span sequence; receive and gate spans are dependencies (the clock
+// jumps to the producer's ready time if later), everything else is a
+// duration. Multi-pass worklist, like dimemas.Replay; the recorded run is
+// itself a witness that an execution order exists, so a stuck replay is a
+// recording bug and panics.
+//
+// Bound caveat: non-network what-ifs keep message costs at their recorded
+// values (bookings are not re-queued against counterfactual port
+// schedules), so results are first-order bounds — exact for the ideal
+// network, where every message cost vanishes.
+func replay(r *Recorder, o replayOpts) float64 {
+	n := len(r.ents)
+	clock := make([]float64, n)
+	idx := make([]int, n)
+	started := make([]bool, n) // aux entities wait for their spawn marker
+	done := make([]bool, n)
+	auxDone := make([]float64, n)
+	for i := range r.ents {
+		started[i] = r.ents[i].parent < 0
+	}
+	msgReady := make([]bool, len(r.msgs))
+	msgAt := make([]float64, len(r.msgs))
+
+	remaining := r.Spans()
+	for remaining > 0 {
+		progress := false
+		for e := 0; e < n; e++ {
+			if !started[e] || done[e] {
+				continue
+			}
+			en := &r.ents[e]
+			for idx[e] < len(en.spans) {
+				s := &en.spans[idx[e]]
+				blocked := false
+				switch s.kind {
+				case spanRecv:
+					if msgReady[s.ref] {
+						clock[e] = math.Max(clock[e], msgAt[s.ref])
+					} else {
+						blocked = true
+					}
+				case spanGateWait:
+					switch {
+					case s.ref < 0:
+						// Unbound gate (defensive): keep the recorded wait.
+						clock[e] += s.end - s.start
+					case done[s.ref]:
+						clock[e] = math.Max(clock[e], auxDone[s.ref])
+					default:
+						blocked = true
+					}
+				case spanSpawn:
+					started[s.ref] = true
+					clock[s.ref] = clock[e]
+				case spanSend:
+					m := &r.msgs[s.ref]
+					at := clock[e]
+					if !o.idealNet {
+						clock[e] += s.end - s.start // queueing + drain
+						at = clock[e] + (m.arrival - m.free)
+					}
+					msgAt[s.ref] = at
+					msgReady[s.ref] = true
+				case spanFetch:
+					if !o.idealNet {
+						clock[e] += s.end - s.start
+					}
+				default:
+					clock[e] += spanCost(s, o)
+				}
+				if blocked {
+					break
+				}
+				idx[e]++
+				remaining--
+				progress = true
+			}
+			if idx[e] == len(en.spans) {
+				done[e] = true
+				auxDone[e] = clock[e]
+			}
+		}
+		if !progress {
+			panic("critpath: forward replay deadlocked (recording bug)")
+		}
+	}
+	out := 0.0
+	for e := 0; e < n; e++ {
+		out = math.Max(out, clock[e])
+	}
+	return out
+}
+
+// spanCost returns a local span's duration under the counterfactual.
+func spanCost(s *span, o replayOpts) float64 {
+	dur := s.end - s.start
+	switch s.kind {
+	case spanCompute, spanKernel:
+		if o.noStragglers && s.stretch > 1 {
+			dur /= s.stretch
+		}
+		if o.noDRAMStall {
+			dur -= math.Min(s.stall, dur)
+		}
+	}
+	return dur
+}

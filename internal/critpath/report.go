@@ -1,0 +1,188 @@
+package critpath
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"clustersoc/internal/obs"
+)
+
+// ReportFileVersion is the schema version of the *.critpath.json sidecar.
+const ReportFileVersion = 1
+
+// ErrDuplicateReport is returned when a sidecar would contain (or does
+// contain) two reports with the same scenario fingerprint — one run, one
+// report.
+var ErrDuplicateReport = errors.New("critpath: duplicate scenario fingerprint in sidecar")
+
+// reportFile is the sidecar envelope.
+type reportFile struct {
+	Version int       `json:"version"`
+	Reports []*Report `json:"reports"`
+}
+
+// reportKey identifies a report inside a sidecar: the fingerprint when
+// present, the scenario label otherwise (cmd/clustersim writes reports
+// without runner fingerprints).
+func reportKey(r *Report) string {
+	if r.Fingerprint != "" {
+		return r.Fingerprint
+	}
+	return "scenario:" + r.Scenario
+}
+
+// WriteReports encodes reports as a versioned sidecar, sorted by
+// fingerprint so the bytes are independent of completion order.
+// Duplicate fingerprints are rejected with ErrDuplicateReport.
+func WriteReports(w io.Writer, reports []*Report) error {
+	sorted := append([]*Report(nil), reports...)
+	sort.Slice(sorted, func(i, j int) bool { return reportKey(sorted[i]) < reportKey(sorted[j]) })
+	for i := 1; i < len(sorted); i++ {
+		if reportKey(sorted[i]) == reportKey(sorted[i-1]) {
+			return fmt.Errorf("%w: %q", ErrDuplicateReport, reportKey(sorted[i]))
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(reportFile{Version: ReportFileVersion, Reports: sorted})
+}
+
+// ReadReports decodes a sidecar written by WriteReports, rejecting
+// unknown versions and duplicate fingerprints.
+func ReadReports(r io.Reader) ([]*Report, error) {
+	var f reportFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("critpath: decoding sidecar: %w", err)
+	}
+	if f.Version != ReportFileVersion {
+		return nil, fmt.Errorf("critpath: unsupported sidecar version %d (want %d)", f.Version, ReportFileVersion)
+	}
+	seen := make(map[string]bool, len(f.Reports))
+	for _, rep := range f.Reports {
+		if seen[reportKey(rep)] {
+			return nil, fmt.Errorf("%w: %q", ErrDuplicateReport, reportKey(rep))
+		}
+		seen[reportKey(rep)] = true
+	}
+	return f.Reports, nil
+}
+
+// blameOrder lists buckets in render order: the taxonomy order, which
+// also groups compute before network before overheads.
+func blameOrder() []string { return Components() }
+
+func fmtSeconds(s float64) string {
+	return fmt.Sprintf("%.6f", s)
+}
+
+func fmtPct(x, total float64) string {
+	if total <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%5.1f%%", 100*x/total)
+}
+
+// BlameTable renders the critical-path blame breakdown next to the
+// aggregate rank-seconds view.
+func (r *Report) BlameTable() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — makespan %ss\n", r.Scenario, fmtSeconds(r.Makespan))
+	fmt.Fprintf(&b, "  %-14s %14s %7s %16s\n", "component", "critical-path", "share", "rank-seconds")
+	for _, name := range blameOrder() {
+		cp := r.Blame[name]
+		rs := r.RankSeconds[name]
+		if cp == 0 && rs == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-14s %13ss %7s %15ss\n", name, fmtSeconds(cp), fmtPct(cp, r.Makespan), fmtSeconds(rs))
+	}
+	var sum float64
+	for _, v := range r.Blame {
+		sum += v
+	}
+	fmt.Fprintf(&b, "  %-14s %13ss\n", "sum", fmtSeconds(sum))
+	return b.String()
+}
+
+// WhatIfTable renders the forward-replay bounds as speedups over the
+// replayed baseline.
+func (r *Report) WhatIfTable() string {
+	var b strings.Builder
+	base := r.WhatIf.Replayed
+	row := func(name string, v float64) {
+		speedup := "-"
+		if v > 0 {
+			speedup = fmt.Sprintf("%.2fx", base/v)
+		}
+		fmt.Fprintf(&b, "  %-18s %13ss  %7s\n", name, fmtSeconds(v), speedup)
+	}
+	fmt.Fprintf(&b, "what-if bounds (replay baseline %ss, observed %ss)\n", fmtSeconds(base), fmtSeconds(r.Makespan))
+	row("ideal network", r.WhatIf.IdealNetwork)
+	row("no stragglers", r.WhatIf.NoStragglers)
+	row("no DRAM stall", r.WhatIf.NoDRAMStall)
+	return b.String()
+}
+
+// SlackTable renders the per-link slack rows, tightest links first, at
+// most top rows (0 = all).
+func (r *Report) SlackTable(top int) string {
+	rows := append([]LinkSlack(nil), r.Links...)
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].MinSlack < rows[j].MinSlack })
+	if top > 0 && len(rows) > top {
+		rows = rows[:top]
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "per-link slack (lookahead headroom), tightest first\n")
+	fmt.Fprintf(&b, "  %-10s %8s %9s %12s %12s\n", "link", "msgs", "blocking", "min", "mean")
+	for _, l := range rows {
+		fmt.Fprintf(&b, "  %3d->%-5d %8d %9d %11ss %11ss\n",
+			l.SrcNode, l.DstNode, l.Messages, l.Blocking, fmtSeconds(l.MinSlack), fmtSeconds(l.MeanSlack))
+	}
+	return b.String()
+}
+
+// Diff renders the component-level difference between two reports of the
+// same scenario (two code versions, or two configurations).
+func Diff(a, b *Report) string {
+	var out strings.Builder
+	fmt.Fprintf(&out, "%s vs %s\n", a.Scenario, b.Scenario)
+	fmt.Fprintf(&out, "  makespan: %ss -> %ss (%+.2f%%)\n",
+		fmtSeconds(a.Makespan), fmtSeconds(b.Makespan), relDelta(a.Makespan, b.Makespan))
+	fmt.Fprintf(&out, "  %-14s %14s %14s %10s\n", "component", "a", "b", "delta")
+	for _, name := range blameOrder() {
+		av, bv := a.Blame[name], b.Blame[name]
+		if av == 0 && bv == 0 {
+			continue
+		}
+		fmt.Fprintf(&out, "  %-14s %13ss %13ss %+9.6f\n", name, fmtSeconds(av), fmtSeconds(bv), bv-av)
+	}
+	fmt.Fprintf(&out, "  ideal network what-if: %ss -> %ss\n",
+		fmtSeconds(a.WhatIf.IdealNetwork), fmtSeconds(b.WhatIf.IdealNetwork))
+	return out.String()
+}
+
+func relDelta(a, b float64) float64 {
+	if a == 0 {
+		return 0
+	}
+	return 100 * (b - a) / a
+}
+
+// PathSlices converts the critical path into the Perfetto exporter's
+// highlight track: one slice per path segment, labelled by component and
+// the entity it ran on.
+func (r *Report) PathSlices() []obs.PathSlice {
+	out := make([]obs.PathSlice, 0, len(r.Path))
+	for _, s := range r.Path {
+		out = append(out, obs.PathSlice{
+			Name:  fmt.Sprintf("%s [%s]", s.Component, s.Entity),
+			Start: s.Start,
+			End:   s.End,
+		})
+	}
+	return out
+}

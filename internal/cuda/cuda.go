@@ -76,8 +76,9 @@ type Device struct {
 	pcie   *sim.Pipe     // host link for discrete cards; nil when integrated
 	stream *sim.Resource // default stream: kernels serialize
 
-	Metrics perf.GPUMetrics
-	smBusy  float64 // SM-seconds, for the power meter
+	Metrics   perf.GPUMetrics
+	smBusy    float64 // SM-seconds, for the power meter
+	lastStall float64 // memory-stall seconds of the most recent Launch
 }
 
 // New creates a device. mem is the pipe its memory accesses go through:
@@ -189,10 +190,19 @@ func (d *Device) Launch(p *sim.Process, k Kernel) {
 	d.Metrics.L2Accesses += k.Bytes
 	d.Metrics.L2Hits += k.Bytes * hit
 	d.Metrics.ComputeSeconds += math.Min(computeTime, dur)
+	d.lastStall = 0
 	if memTime > computeTime {
 		d.Metrics.StallSeconds += memTime - computeTime
+		d.lastStall = memTime - computeTime
 	}
 }
+
+// LastLaunchStallSeconds returns the memory-stall share of the most
+// recently completed Launch. Kernels on the default stream serialize and
+// the caller reads this before yielding, so the value cannot be clobbered
+// by a concurrent launch — the critical-path recorder uses it to split a
+// kernel span into GPU-compute and DRAM-stall time.
+func (d *Device) LastLaunchStallSeconds() float64 { return d.lastStall }
 
 // LaunchAsync starts the kernel on a helper process and returns a gate
 // that opens at completion — the mechanism hpl's lookahead uses to overlap

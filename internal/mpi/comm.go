@@ -27,10 +27,14 @@ type key struct {
 
 // inboxMsg is one eagerly delivered message that no receive has claimed
 // yet. The size rides along so receives that declare an expected size
-// (Sendrecv's recvBytes) can be validated against what the peer sent.
+// (Sendrecv's recvBytes) can be validated against what the peer sent;
+// pathID is the PathRecorder's message handle (meaningful only while a
+// recorder is attached), threaded through the inbox so the matching
+// receive can report which send it completed without a second FIFO.
 type inboxMsg struct {
 	arrival float64
 	bytes   float64
+	pathID  int32
 }
 
 // recvWaiter is a blocked receiver. expect is the byte count the receive
@@ -49,6 +53,20 @@ type Recorder interface {
 	RecordRecv(rank, peer, tag int, start, end float64)
 }
 
+// PathRecorder observes the causal structure of point-to-point traffic at
+// a finer grain than Recorder: sends carry the full NIC booking (post,
+// drain, arrival, whether the wire copy was a retransmit) and every
+// receive completion is reported even when it did not block, because a
+// zero-wait receive is still a happens-before edge that a critical-path
+// replay must honour. PathSend returns a message handle the communicator
+// threads through its own matching structures and hands back to PathRecv,
+// so the recorder needs no FIFO of its own. internal/critpath implements
+// it.
+type PathRecorder interface {
+	PathSend(src, dst, tag int, bytes, post, senderFree, arrival float64, retrans bool) int32
+	PathRecv(dst int, id int32, post, end float64)
+}
+
 // LossInjector decides, per cross-node message, whether the first copy is
 // lost on the wire; internal/faults implements it with a deterministic
 // per-plan stream. Timeout is the eager-retransmit delay the sender pays
@@ -64,6 +82,12 @@ type Comm struct {
 	nw       *network.Network
 	rankNode []int
 	rec      Recorder
+	pr       PathRecorder
+	// pendingPath carries the PathRecorder handle of a send that matched a
+	// blocked receiver, from the send to the receiver's resumption. One
+	// slot per rank suffices: ranks are blocking processes, so each has at
+	// most one receive in flight (guarded by a panic in Send).
+	pendingPath []int32
 
 	boxes   []map[key][]inboxMsg   // per-rank inbox: FIFO per (src,tag)
 	waiters []map[key][]recvWaiter // per-rank blocked receivers, FIFO
@@ -151,6 +175,18 @@ func (c *Comm) check(rank int) {
 // SetRecorder attaches a trace recorder (nil to detach).
 func (c *Comm) SetRecorder(r Recorder) { c.rec = r }
 
+// SetPathRecorder attaches a causal-path recorder (nil to detach). The
+// hot path pays one nil check per send and receive when detached.
+func (c *Comm) SetPathRecorder(pr PathRecorder) {
+	c.pr = pr
+	if pr != nil && c.pendingPath == nil {
+		c.pendingPath = make([]int32, len(c.rankNode))
+		for i := range c.pendingPath {
+			c.pendingPath[i] = -1
+		}
+	}
+}
+
 // SetLossInjector attaches the fault plane's message-loss model (nil to
 // detach). Only cross-node messages can be lost — the intra-node
 // shared-memory path is a memcpy, not a wire.
@@ -180,6 +216,7 @@ func (c *Comm) Send(p *sim.Process, src, dst, tag int, bytes float64) {
 	senderFree, arrival := c.nw.Deliver(srcNode, dstNode, bytes)
 	c.sentBytes[src] += bytes
 	c.sentMsgs[src]++
+	retrans := false
 	if c.loss != nil && srcNode != dstNode && c.loss.Lose(src, dst, bytes) {
 		// Eager retransmit: the first copy is lost, so the payload makes a
 		// second wire transit that cannot start before the sender's timeout
@@ -188,10 +225,23 @@ func (c *Comm) Send(p *sim.Process, src, dst, tag int, bytes float64) {
 		senderFree, arrival = c.nw.DeliverAfter(srcNode, dstNode, bytes, senderFree+c.loss.Timeout())
 		c.retransBytes[src] += bytes
 		c.retransMsgs[src]++
+		retrans = true
+	}
+	// The path recorder must see the message before any matched waiter can
+	// resume and report its receive completion.
+	pathID := int32(-1)
+	if c.pr != nil {
+		pathID = c.pr.PathSend(src, dst, tag, bytes, start, senderFree, arrival, retrans)
 	}
 	k := key{src, tag}
 	if ws := c.waiters[dst][k]; len(ws) > 0 {
 		w := ws[0]
+		if c.pr != nil {
+			if c.pendingPath[dst] >= 0 {
+				panic(fmt.Sprintf("mpi: rank %d has two matched receives in flight", dst))
+			}
+			c.pendingPath[dst] = pathID
+		}
 		if len(ws) == 1 {
 			delete(c.waiters[dst], k)
 			ws[0] = recvWaiter{} // don't pin the process via the spare
@@ -212,7 +262,7 @@ func (c *Comm) Send(p *sim.Process, src, dst, tag int, bytes float64) {
 				q, c.spareBox = c.spareBox[n-1], c.spareBox[:n-1]
 			}
 		}
-		c.boxes[dst][k] = append(q, inboxMsg{arrival: arrival, bytes: bytes})
+		c.boxes[dst][k] = append(q, inboxMsg{arrival: arrival, bytes: bytes, pathID: pathID})
 	}
 	p.SleepUntil(senderFree)
 	if c.rec != nil {
@@ -235,6 +285,7 @@ func (c *Comm) recvExpect(p *sim.Process, dst, src, tag int, expect float64) {
 	c.check(dst)
 	start := p.Now()
 	k := key{src, tag}
+	pathID := int32(-1)
 	if q := c.boxes[dst][k]; len(q) > 0 {
 		m := q[0]
 		if len(q) == 1 {
@@ -248,6 +299,7 @@ func (c *Comm) recvExpect(p *sim.Process, dst, src, tag int, expect float64) {
 				"rank %d expected %g bytes from rank %d (tag %d) but the sender delivered %g",
 				dst, expect, src, tag, m.bytes))
 		}
+		pathID = m.pathID
 		p.SleepUntil(m.arrival)
 	} else {
 		ws := c.waiters[dst][k]
@@ -258,8 +310,15 @@ func (c *Comm) recvExpect(p *sim.Process, dst, src, tag int, expect float64) {
 		}
 		c.waiters[dst][k] = append(ws, recvWaiter{p: p, expect: expect})
 		p.Suspend()
+		if c.pr != nil {
+			pathID = c.pendingPath[dst]
+			c.pendingPath[dst] = -1
+		}
 	}
 	c.recvMsgs[dst]++
+	if c.pr != nil {
+		c.pr.PathRecv(dst, pathID, start, p.Now())
+	}
 	if c.rec != nil {
 		c.rec.RecordRecv(dst, src, tag, start, p.Now())
 	}

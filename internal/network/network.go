@@ -124,6 +124,20 @@ type Network struct {
 	// fault-injection plane (internal/faults). A fault-free network keeps
 	// it nil, so Deliver pays exactly one comparison.
 	lf []linkFault
+
+	// obsD, when non-nil, sees every booking's internal decomposition
+	// (service start vs. call time separates queueing from wire time).
+	// internal/critpath attaches it; an unobserved Deliver pays one nil
+	// check.
+	obsD DeliveryObserver
+}
+
+// DeliveryObserver sees every Deliver booking with its internal timing:
+// post is the call (or floor) time, start the moment the message enters
+// service, free when the sender's port drains, arrival when the last byte
+// reaches the receiver. src == dst identifies the intra-node memory path.
+type DeliveryObserver interface {
+	ObserveDelivery(src, dst int, bytes, post, start, free, arrival float64)
 }
 
 // MemoryPathBandwidth is the effective bandwidth of rank-to-rank transfers
@@ -188,6 +202,9 @@ func (nw *Network) deliver(src, dst int, bytes, floor float64) (senderFree, arri
 			nw.sizeHist.Observe(bytes)
 			lp.markQueued(now, start, bytes)
 		}
+		if nw.obsD != nil {
+			nw.obsD.ObserveDelivery(src, dst, bytes, now, start, lp.free, lp.free+nw.memLat)
+		}
 		return lp.free, lp.free + nw.memLat
 	}
 	t, r := &nw.tx[src], &nw.rx[dst]
@@ -209,6 +226,9 @@ func (nw *Network) deliver(src, dst int, bytes, floor float64) (senderFree, arri
 		nw.sizeHist.Observe(bytes)
 		t.markQueued(now, start, bytes)
 		r.markQueued(now, start, bytes)
+	}
+	if nw.obsD != nil {
+		nw.obsD.ObserveDelivery(src, dst, bytes, now, start, t.free, t.free+nw.prof.Latency)
 	}
 	return t.free, t.free + nw.prof.Latency
 }
@@ -380,6 +400,10 @@ func (nw *Network) Instrument(s *obs.Scope) {
 	}
 	nw.sizeHist = s.Histogram("message_size_bytes", obs.MessageSizeBuckets)
 }
+
+// SetDeliveryObserver attaches a booking observer (nil to detach). Must be
+// installed before traffic flows so the observer sees every message.
+func (nw *Network) SetDeliveryObserver(o DeliveryObserver) { nw.obsD = o }
 
 // PublishMetrics exports the interconnect's accounting into a scope:
 // switch totals plus, per port, busy seconds, carried bytes, and (on

@@ -34,9 +34,27 @@ type chromeEvent struct {
 
 const secToUs = 1e6
 
+// PathSlice is one highlighted interval of the critical-path track:
+// internal/critpath converts its path segments into these so the exporter
+// need not know the analysis types.
+type PathSlice struct {
+	Name  string
+	Start float64 // seconds
+	End   float64 // seconds
+}
+
 // WriteChromeTrace writes t as Chrome trace-event JSON. The snapshot may
 // be empty; when present its metrics are attached under otherData.
 func WriteChromeTrace(w io.Writer, t *trace.Trace, snap Snapshot) error {
+	return WriteChromeTraceWithPath(w, t, snap, nil)
+}
+
+// WriteChromeTraceWithPath is WriteChromeTrace with an optional
+// critical-path highlight: path slices render as a dedicated process
+// (pid = one past the highest node id) so the path stands out as its own
+// track above the per-node rank timelines. A nil path produces output
+// byte-identical to WriteChromeTrace.
+func WriteChromeTraceWithPath(w io.Writer, t *trace.Trace, snap Snapshot, path []PathSlice) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(`{"displayTimeUnit":"ms","otherData":`); err != nil {
 		return err
@@ -117,6 +135,27 @@ func WriteChromeTrace(w io.Writer, t *trace.Trace, snap Snapshot) error {
 				continue
 			}
 			if err := emit(e); err != nil {
+				return err
+			}
+		}
+	}
+	if len(path) > 0 {
+		cpPid := t.NodeCount()
+		if err := emit(chromeEvent{Name: "process_name", Phase: "M", Pid: cpPid,
+			Args: map[string]any{"name": "critical path"}}); err != nil {
+			return err
+		}
+		if err := emit(chromeEvent{Name: "thread_name", Phase: "M", Pid: cpPid,
+			Args: map[string]any{"name": "blame"}}); err != nil {
+			return err
+		}
+		for _, s := range path {
+			dur := (s.End - s.Start) * secToUs
+			if dur < 0 {
+				dur = 0
+			}
+			if err := emit(chromeEvent{Name: s.Name, Phase: "X",
+				Ts: s.Start * secToUs, Dur: &dur, Pid: cpPid}); err != nil {
 				return err
 			}
 		}

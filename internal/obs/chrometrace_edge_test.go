@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"clustersoc/internal/trace"
+)
+
+// edgeTrace builds a trace exercising the exporter's corner cases in one
+// artifact:
+//
+//   - zero-duration ops (a send whose drain window collapsed, an
+//     instantaneous receive),
+//   - an op recorded with End < Start (the exporter clamps, never emits
+//     negative durations),
+//   - same-timestamp ops appended out of chronological order (the
+//     exporter preserves record order — viewers sort, the bytes must not
+//     depend on it),
+//   - more ranks than a 64-bit mask could track, spread over 3 nodes.
+func edgeTrace() *trace.Trace {
+	const ranks = 66
+	nodes := make([]int, ranks)
+	for i := range nodes {
+		nodes[i] = i % 3
+	}
+	tr := trace.New(nodes)
+	// Rank 0: the degenerate ops.
+	tr.RecordSend(0, 1, 3, 0, 1.0, 1.0)  // zero-duration send
+	tr.RecordRecv(0, 1, 4, 0.5, 0.5)     // zero-duration recv
+	tr.RecordSend(0, 2, 5, 64, 2.0, 1.5) // End < Start: exporter clamps to 0
+	// Rank 1: same timestamp, recorded out of order.
+	tr.RecordSend(1, 0, 4, 128, 0.5, 0.5)
+	tr.RecordCompute(1, 0.25, 0.5)
+	tr.RecordPhase(1, 0.5)
+	tr.RecordRecv(1, 0, 3, 1.0, 1.0)
+	tr.RecordRecv(1, 0, 5, 1.5, 2.0)
+	// Every remaining rank gets one op so all 66 thread lanes materialize.
+	for r := 2; r < ranks; r++ {
+		tr.RecordCompute(r, 0.125, float64(r)*0.01)
+	}
+	tr.Finish(2.0)
+	return &tr.T
+}
+
+// TestChromeTraceEdgeCasesGolden pins the exporter's byte output on the
+// degenerate trace. Regenerate with UPDATE_GOLDEN=1 after intentional
+// format changes.
+func TestChromeTraceEdgeCasesGolden(t *testing.T) {
+	tt := edgeTrace()
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tt, TraceSnapshot(tt)); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	golden := filepath.Join("testdata", "chrometrace_edge.golden.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s (%d bytes)", golden, buf.Len())
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("export differs from %s (run with UPDATE_GOLDEN=1 after intentional changes); got %d bytes, want %d",
+			golden, buf.Len(), len(want))
+	}
+}
+
+func TestChromeTraceEdgeCasesSemantics(t *testing.T) {
+	tt := edgeTrace()
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tt, TraceSnapshot(tt)); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var f chromeFile
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	meta, x := 0, 0
+	for _, e := range f.TraceEvents {
+		switch e["ph"] {
+		case "M":
+			meta++
+		case "X":
+			x++
+			if d := e["dur"].(float64); d < 0 {
+				t.Fatalf("negative duration slipped through: %v", e)
+			}
+			if e["name"] == "send->2" && e["dur"].(float64) != 0 {
+				t.Fatalf("End<Start op not clamped to 0: %v", e)
+			}
+		}
+	}
+	// 3 process_name + 66 thread_name.
+	if meta != 69 {
+		t.Fatalf("got %d metadata events, want 69", meta)
+	}
+	// Rank 0: 3 ops; rank 1: 4 X ops (+1 instant); ranks 2..65: 1 each.
+	if want := 3 + 4 + 64; x != want {
+		t.Fatalf("got %d X events, want %d", x, want)
+	}
+}
+
+// TestWriteChromeTraceWithPathNilIdentical locks in the -critpath off
+// guarantee: a nil path produces bytes identical to the plain exporter.
+func TestWriteChromeTraceWithPathNilIdentical(t *testing.T) {
+	tt := edgeTrace()
+	var plain, withNil bytes.Buffer
+	if err := WriteChromeTrace(&plain, tt, TraceSnapshot(tt)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChromeTraceWithPath(&withNil, tt, TraceSnapshot(tt), nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain.Bytes(), withNil.Bytes()) {
+		t.Fatal("WriteChromeTraceWithPath(nil) differs from WriteChromeTrace")
+	}
+}
+
+func TestWriteChromeTraceWithPathTrack(t *testing.T) {
+	tt := edgeTrace()
+	path := []PathSlice{
+		{Name: "cpu-compute [rank0]", Start: 0, End: 1},
+		{Name: "nic-wire [rank0]", Start: 1, End: 1}, // zero-duration slice
+		{Name: "switch-queue [rank1]", Start: 2, End: 1.5},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTraceWithPath(&buf, tt, TraceSnapshot(tt), path); err != nil {
+		t.Fatal(err)
+	}
+	var f chromeFile
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	// The path track lives one pid past the highest node id.
+	cpPid := float64(tt.NodeCount())
+	named, slices := false, 0
+	for _, e := range f.TraceEvents {
+		if e["pid"] != cpPid {
+			continue
+		}
+		if e["ph"] == "M" && e["name"] == "process_name" {
+			if got := e["args"].(map[string]any)["name"]; got != "critical path" {
+				t.Fatalf("path process name = %v", got)
+			}
+			named = true
+		}
+		if e["ph"] == "X" {
+			slices++
+			if d := e["dur"].(float64); d < 0 {
+				t.Fatalf("negative path duration: %v", e)
+			}
+		}
+	}
+	if !named {
+		t.Fatal("no critical-path process_name metadata")
+	}
+	if slices != len(path) {
+		t.Fatalf("got %d path slices, want %d", slices, len(path))
+	}
+}

@@ -2,9 +2,19 @@ package obs
 
 import (
 	"encoding/json"
+	"errors"
+	"fmt"
 	"io"
 	"sort"
 )
+
+// ErrDuplicateProfile is returned when a profile sidecar would contain
+// (or does contain) two profiles with the same scenario fingerprint. The
+// run-plane memoizes per fingerprint, so a duplicate means the caller
+// aggregated the same scenario twice — silently keeping both used to make
+// round-trips lossy (readers picking "the" profile for a fingerprint got
+// an arbitrary one).
+var ErrDuplicateProfile = errors.New("obs: duplicate scenario fingerprint in profile sidecar")
 
 // Profile is one scenario's observability record: the deterministic
 // simulated-metrics snapshot plus an explicitly separated wall-clock
@@ -49,20 +59,34 @@ const ProfileFileVersion = 1
 
 // WriteProfiles serializes profiles as an indented JSON sidecar
 // (*.profile.json), sorted by scenario fingerprint so the simulated
-// content is byte-stable across runs and worker counts.
+// content is byte-stable across runs and worker counts. Duplicate
+// fingerprints are rejected with ErrDuplicateProfile.
 func WriteProfiles(w io.Writer, profiles []*Profile) error {
 	sorted := append([]*Profile(nil), profiles...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Fingerprint < sorted[j].Fingerprint })
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i].Fingerprint == sorted[i-1].Fingerprint {
+			return fmt.Errorf("%w: %q", ErrDuplicateProfile, sorted[i].Fingerprint)
+		}
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(profileFile{Version: ProfileFileVersion, Profiles: sorted})
 }
 
-// ReadProfiles parses a sidecar written by WriteProfiles.
+// ReadProfiles parses a sidecar written by WriteProfiles, rejecting
+// files that carry the same fingerprint twice.
 func ReadProfiles(r io.Reader) ([]*Profile, error) {
 	var f profileFile
 	if err := json.NewDecoder(r).Decode(&f); err != nil {
 		return nil, err
+	}
+	seen := make(map[string]bool, len(f.Profiles))
+	for _, p := range f.Profiles {
+		if seen[p.Fingerprint] {
+			return nil, fmt.Errorf("%w: %q", ErrDuplicateProfile, p.Fingerprint)
+		}
+		seen[p.Fingerprint] = true
 	}
 	return f.Profiles, nil
 }

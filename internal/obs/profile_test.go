@@ -2,6 +2,8 @@ package obs
 
 import (
 	"bytes"
+	"encoding/json"
+	"errors"
 	"testing"
 )
 
@@ -43,6 +45,48 @@ func TestProfilesRoundTrip(t *testing.T) {
 	// Sorting must not mutate the caller's slice.
 	if in[0].Fingerprint != "bbb" {
 		t.Fatalf("WriteProfiles reordered the input slice")
+	}
+}
+
+func TestWriteProfilesRejectsDuplicateFingerprint(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteProfiles(&buf, []*Profile{sampleProfile("aaa", 1), sampleProfile("aaa", 2)})
+	if !errors.Is(err, ErrDuplicateProfile) {
+		t.Fatalf("WriteProfiles on duplicates = %v, want ErrDuplicateProfile", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("rejected sidecar still wrote %d bytes", buf.Len())
+	}
+}
+
+func TestReadProfilesRejectsDuplicateFingerprint(t *testing.T) {
+	// A duplicate-carrying file can only come from a foreign writer, so
+	// build the envelope by hand.
+	raw, err := json.Marshal(profileFile{
+		Version:  ProfileFileVersion,
+		Profiles: []*Profile{sampleProfile("aaa", 1), sampleProfile("aaa", 2)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadProfiles(bytes.NewReader(raw)); !errors.Is(err, ErrDuplicateProfile) {
+		t.Fatalf("ReadProfiles on duplicates = %v, want ErrDuplicateProfile", err)
+	}
+}
+
+func TestProfilesDuplicateRejectionRoundTrip(t *testing.T) {
+	// A healthy sidecar survives the write→read round trip untouched by
+	// the duplicate checks on both ends.
+	var buf bytes.Buffer
+	if err := WriteProfiles(&buf, []*Profile{sampleProfile("a", 1), sampleProfile("b", 2), sampleProfile("c", 3)}); err != nil {
+		t.Fatalf("WriteProfiles: %v", err)
+	}
+	out, err := ReadProfiles(&buf)
+	if err != nil {
+		t.Fatalf("ReadProfiles: %v", err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("got %d profiles, want 3", len(out))
 	}
 }
 

@@ -70,9 +70,9 @@ func TestCheckedFailureNamesScenario(t *testing.T) {
 	r.SetChecking(true)
 	s := tinyScenario("hpl", 2, network.GigE)
 	sawChecked := false
-	r.exec = func(s Scenario, _, checked bool) (Result, error) {
+	r.exec = func(s Scenario, _, checked, _ bool) (Result, error) {
 		sawChecked = checked
-		return defaultExec(s, false, checked)
+		return defaultExec(s, false, checked, false)
 	}
 	if _, err := r.Run(s); err != nil {
 		t.Fatal(err)

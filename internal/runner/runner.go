@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"clustersoc/internal/cluster"
+	"clustersoc/internal/critpath"
 	"clustersoc/internal/obs"
 	"clustersoc/internal/simcheck"
 	"clustersoc/internal/workloads"
@@ -84,6 +85,11 @@ type Result struct {
 	// without profiling; sidecar files carry profiles instead. Cached
 	// results share one Profile — treat it as immutable.
 	Profile *obs.Profile `json:"-"`
+	// CritPath is the scenario's critical-path analysis, present only when
+	// the Runner (or ExecuteCritPath) ran with recording enabled. Like
+	// Profile it is excluded from JSON — *.critpath.json sidecars carry
+	// reports — and shared between cached results: treat it as immutable.
+	CritPath *critpath.Report `json:"-"`
 }
 
 // Stats is the run-plane's accounting, reported by the CLIs. The wall
@@ -125,13 +131,14 @@ type Runner struct {
 	workers int
 	sem     chan struct{}
 	// exec runs one scenario; tests substitute it to control timing.
-	exec func(s Scenario, profiled, checked bool) (Result, error)
+	exec func(s Scenario, profiled, checked, critpathOn bool) (Result, error)
 
 	mu        sync.Mutex
 	cache     map[string]*entry
 	stats     Stats
 	profiling bool
 	checking  bool
+	critpath  bool
 	inFlight  int
 }
 
@@ -151,13 +158,13 @@ func New(workers int) *Runner {
 }
 
 // defaultExec is the Runner's executor: Execute, or ExecuteProfiled when
-// the run-plane has profiling enabled, with the simcheck audit threaded
-// through when checking is enabled.
-func defaultExec(s Scenario, profiled, checked bool) (Result, error) {
+// the run-plane has profiling enabled, with the simcheck audit and
+// critical-path recording threaded through when enabled.
+func defaultExec(s Scenario, profiled, checked, critpathOn bool) (Result, error) {
 	if profiled {
-		return executeProfiled(s, checked)
+		return executeProfiled(s, checked, critpathOn)
 	}
-	return execute(s, nil, checked)
+	return execute(s, nil, checked, critpathOn)
 }
 
 // Workers returns the worker-pool bound.
@@ -187,6 +194,41 @@ func (r *Runner) SetChecking(on bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.checking = on
+}
+
+// SetCritPath toggles causal event-graph recording and critical-path
+// analysis for subsequently executed scenarios (cluster.RecordCritPath +
+// critpath.Analyze). Recording is passive — a recorded run's Result is
+// byte-identical to an unrecorded one, a property locked in by this
+// package's determinism tests. Like SetProfiling it applies per
+// execution: scenarios already cached keep whatever they were (or were
+// not) recorded with.
+func (r *Runner) SetCritPath(on bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.critpath = on
+}
+
+// Reports returns the critical-path reports of every completed,
+// successfully simulated scenario, sorted by fingerprint so the
+// collection is deterministic regardless of execution order. Reports are
+// shared with cached results — treat them as immutable.
+func (r *Runner) Reports() []*critpath.Report {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var rs []*critpath.Report
+	for _, e := range r.cache {
+		select {
+		case <-e.done:
+		default:
+			continue // still in flight
+		}
+		if e.err == nil && e.res.CritPath != nil {
+			rs = append(rs, e.res.CritPath)
+		}
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Fingerprint < rs[j].Fingerprint })
+	return rs
 }
 
 // Profiles returns the profiles of every completed, successfully
@@ -237,14 +279,14 @@ func (r *Runner) Run(s Scenario) (Result, error) {
 
 	r.sem <- struct{}{} // acquire a worker slot
 	r.mu.Lock()
-	profiled, checked := r.profiling, r.checking
+	profiled, checked, critpathOn := r.profiling, r.checking, r.critpath
 	r.inFlight++
 	if r.inFlight > r.stats.MaxInFlight {
 		r.stats.MaxInFlight = r.inFlight
 	}
 	r.mu.Unlock()
 	start := time.Now()
-	e.res, e.err = r.exec(s, profiled, checked)
+	e.res, e.err = r.exec(s, profiled, checked, critpathOn)
 	wall := time.Since(start).Seconds()
 	r.mu.Lock()
 	r.inFlight--
@@ -288,7 +330,7 @@ func (r *Runner) RunAll(scenarios []Scenario) ([]Result, error) {
 // no audit. It is the reference implementation the determinism tests
 // compare against.
 func Execute(s Scenario) (Result, error) {
-	return execute(s, nil, false)
+	return execute(s, nil, false, false)
 }
 
 // ExecuteChecked is Execute with the simcheck physical-invariant audit:
@@ -296,7 +338,7 @@ func Execute(s Scenario) (Result, error) {
 // with the full diagnostic list. The Result is byte-identical to
 // Execute's — the audit only reads the finished cluster.
 func ExecuteChecked(s Scenario) (Result, error) {
-	return execute(s, nil, true)
+	return execute(s, nil, true, false)
 }
 
 // ExecuteProfiled is Execute with observability attached: the returned
@@ -304,13 +346,21 @@ func ExecuteChecked(s Scenario) (Result, error) {
 // snapshot plus host wall time. The simulation itself is unchanged —
 // everything but the Profile field is byte-identical to Execute's.
 func ExecuteProfiled(s Scenario) (Result, error) {
-	return executeProfiled(s, false)
+	return executeProfiled(s, false, false)
 }
 
-func executeProfiled(s Scenario, checked bool) (Result, error) {
+// ExecuteCritPath is Execute with causal event-graph recording: the
+// returned Result carries a CritPath report (blame breakdown, what-if
+// bounds, the critical path itself). The simulation is unchanged —
+// everything but the CritPath field is byte-identical to Execute's.
+func ExecuteCritPath(s Scenario) (Result, error) {
+	return execute(s, nil, false, true)
+}
+
+func executeProfiled(s Scenario, checked, critpathOn bool) (Result, error) {
 	reg := obs.NewRegistry()
 	start := time.Now()
-	res, err := execute(s, reg, checked)
+	res, err := execute(s, reg, checked, critpathOn)
 	wall := time.Since(start).Seconds()
 	if err != nil {
 		return res, err
@@ -327,8 +377,9 @@ func executeProfiled(s Scenario, checked bool) (Result, error) {
 // execute runs one scenario, attaching reg (may be nil) to the cluster
 // before any rank spawns. With checked, match-time validation is armed
 // before spawning and the finished run is audited against its physical
-// invariants; neither alters the simulation.
-func execute(s Scenario, reg *obs.Registry, checked bool) (Result, error) {
+// invariants; with critpathOn, the causal event graph is recorded and
+// analyzed after the run. Neither alters the simulation.
+func execute(s Scenario, reg *obs.Registry, checked, critpathOn bool) (Result, error) {
 	w, err := workloads.ByName(s.Workload)
 	if err != nil {
 		return Result{}, err
@@ -337,6 +388,9 @@ func execute(s Scenario, reg *obs.Registry, checked bool) (Result, error) {
 	cl.Instrument(reg)
 	if checked {
 		cl.EnableChecking()
+	}
+	if critpathOn {
+		cl.RecordCritPath()
 	}
 	jobs := []*cluster.Job{cl.Spawn(w.Body(s.Config))}
 	for _, j := range s.Colocated {
@@ -354,6 +408,10 @@ func execute(s Scenario, reg *obs.Registry, checked bool) (Result, error) {
 		if err := simcheck.Error(simcheck.AuditCluster(cl, res.Result)); err != nil {
 			return res, fmt.Errorf("scenario %q on %q failed its audit: %w", s.Workload, s.Cluster.Name, err)
 		}
+	}
+	if critpathOn {
+		res.CritPath = critpath.Analyze(cl.CritPath(),
+			fmt.Sprintf("%s on %s", s.Workload, s.Cluster.Name), s.Fingerprint(), res.Runtime)
 	}
 	return res, nil
 }

@@ -32,7 +32,7 @@ func tinyScenario(workload string, nodes int, prof network.Profile) Scenario {
 // no simulation, controlled timing.
 func stubRunner(workers int, exec func(Scenario) (Result, error)) *Runner {
 	r := New(workers)
-	r.exec = func(s Scenario, _, _ bool) (Result, error) { return exec(s) }
+	r.exec = func(s Scenario, _, _, _ bool) (Result, error) { return exec(s) }
 	return r
 }
 

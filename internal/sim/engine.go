@@ -137,6 +137,12 @@ func NewEngine() *Engine {
 // Now returns the current simulation time in seconds.
 func (e *Engine) Now() float64 { return e.now }
 
+// Stamp returns the current (time, sequence) pair. The sequence counter
+// advances with every scheduled event, so two observations at the same
+// simulated time are still totally ordered — the deterministic tie-break
+// the critical-path recorder uses.
+func (e *Engine) Stamp() (float64, uint64) { return e.now, e.seq }
+
 // Events returns the number of events processed so far.
 func (e *Engine) Events() uint64 { return e.events }
 

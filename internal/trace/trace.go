@@ -106,6 +106,19 @@ func (tr *Tracer) RecordPhase(rank int, at float64) {
 // Finish stamps the observed runtime.
 func (tr *Tracer) Finish(runtime float64) { tr.T.Runtime = runtime }
 
+// NodeCount returns one past the highest node id hosting a rank — the
+// number of distinct process tracks a viewer needs, and the first free
+// process id for synthetic tracks (the exporter's critical-path lane).
+func (t *Trace) NodeCount() int {
+	max := -1
+	for _, r := range t.Ranks {
+		if r.Node > max {
+			max = r.Node
+		}
+	}
+	return max + 1
+}
+
 // ComputeSeconds returns each rank's total compute (+copy) time, the C_i
 // of the efficiency decomposition.
 func (t *Trace) ComputeSeconds() []float64 {
