@@ -32,8 +32,14 @@ func main() {
 		list   = flag.Bool("list", false, "list available workloads and exit")
 		traceF = flag.String("trace", "", "write an Extrae-style execution trace to this file (replay it with cmd/replay)")
 		critP  = flag.String("critpath", "", "record the causal event graph, print the blame and what-if tables, and write a critical-path sidecar to this file ('-' prints tables only; inspect sidecars with cmd/whatif)")
+		pdes   = flag.Bool("pdes", false, "run eligible configurations under conservative PDES (partitioned by node); results are bit-identical to sequential runs")
+		pdesW  = flag.Int("pdes-workers", 4, "PDES worker pool size (with -pdes)")
 	)
 	flag.Parse()
+
+	if *pdes {
+		cluster.SetPDES(*pdesW)
+	}
 
 	if *list {
 		for _, w := range workloads.All() {
@@ -123,6 +129,9 @@ func main() {
 	fmt.Printf("system:        %s\n", res.System)
 	fmt.Printf("workload:      %s (scale %.2f)\n", w.Name(), *scale)
 	fmt.Printf("ranks:         %d on %d node(s)\n", res.Ranks, res.Nodes)
+	if cl.Partitioned() {
+		fmt.Printf("engine:        pdes (%d workers)\n", *pdesW)
+	}
 	fmt.Printf("runtime:       %s\n", units.Seconds(res.Runtime))
 	fmt.Printf("throughput:    %s\n", units.Flops(res.Throughput))
 	fmt.Printf("avg power:     %.1f W\n", res.AvgPowerWatts)

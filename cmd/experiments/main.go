@@ -21,6 +21,7 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"clustersoc/internal/cluster"
 	"clustersoc/internal/compute"
 	"clustersoc/internal/critpath"
 	"clustersoc/internal/experiments"
@@ -52,8 +53,14 @@ func main() {
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the regeneration to this file (host profiling of the simulator itself; written on clean completion)")
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile at exit to this file (written on clean completion)")
 		backend  = flag.String("backend", compute.Default().Name(), "compute backend executing the calibration kernels ("+strings.Join(compute.Names(), ", ")+"); the artifact tables are analytic and stay byte-identical either way")
+		pdes     = flag.Bool("pdes", false, "run eligible scenarios under conservative PDES (partitioned by node); artifacts stay byte-identical to sequential runs")
+		pdesW    = flag.Int("pdes-workers", 4, "PDES worker pool size (with -pdes)")
 	)
 	flag.Parse()
+
+	if *pdes {
+		cluster.SetPDES(*pdesW)
+	}
 
 	be, err := compute.ByName(*backend)
 	if err != nil {

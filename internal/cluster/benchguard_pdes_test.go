@@ -1,0 +1,87 @@
+package cluster_test
+
+import (
+	"math"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"clustersoc/internal/cluster"
+	"clustersoc/internal/network"
+	"clustersoc/internal/workloads"
+)
+
+// cgReference runs the cg reference scenario (the 8-node TX1 cluster on
+// 10GbE from the figures) once and returns the wall-clock duration and the
+// number of simulation events processed.
+func cgReference(b testing.TB, scale float64) (time.Duration, uint64) {
+	w, err := workloads.ByName("cg")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := cluster.TX1Cluster(8, network.TenGigE)
+	cfg.RanksPerNode = w.RanksPerNode()
+	cl := cluster.New(cfg)
+	body := w.Body(workloads.Config{Scale: scale})
+	start := time.Now()
+	res := cl.Run(body)
+	return time.Since(start), res.Events
+}
+
+// TestPDESSpeedGuard asserts partitioned execution buys at least 2x
+// aggregate events/s over the sequential engine on the cg reference
+// scenario at 4 workers. Timing-based and parallelism-dependent, so it
+// runs only under BENCH_GUARD=1 on a host with enough cores to actually
+// run 4 partitions concurrently; plain `go test ./...` skips it.
+func TestPDESSpeedGuard(t *testing.T) {
+	if os.Getenv("BENCH_GUARD") == "" {
+		t.Skip("timing guard: set BENCH_GUARD=1 to run")
+	}
+	if runtime.NumCPU() < 4 {
+		t.Skipf("PDES speed guard needs >= 4 CPUs, have %d", runtime.NumCPU())
+	}
+
+	const scale = 0.2
+	const attempts = 3
+
+	rate := func(workers int) float64 {
+		prev := cluster.SetPDES(workers)
+		defer cluster.SetPDES(prev)
+		best := 0.0
+		for i := 0; i < attempts; i++ {
+			d, events := cgReference(t, scale)
+			if r := float64(events) / d.Seconds(); r > best {
+				best = r
+			}
+		}
+		return best
+	}
+
+	// Interleave a warm-up of each before timing.
+	rate(0)
+	rate(4)
+	seq, par := rate(0), rate(4)
+
+	ratio := par / seq
+	t.Logf("sequential %.0f events/s vs pdes(4) %.0f events/s (speedup %.2fx)", seq, par, ratio)
+	if math.IsNaN(ratio) || ratio < 2 {
+		t.Fatalf("PDES at 4 workers delivers %.2fx aggregate events/s on the cg reference, want >= 2x", ratio)
+	}
+}
+
+// BenchmarkSequentialCG and BenchmarkPDESCG measure the cg reference
+// scenario under both engines; compare with benchstat or -bench '.*CG'.
+func BenchmarkSequentialCG(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cgReference(b, 0.08)
+	}
+}
+
+func BenchmarkPDESCG(b *testing.B) {
+	prev := cluster.SetPDES(4)
+	defer cluster.SetPDES(prev)
+	for i := 0; i < b.N; i++ {
+		cgReference(b, 0.08)
+	}
+}

@@ -1,0 +1,131 @@
+package cluster
+
+// Opt-in conservative-PDES run mode. SetPDES (or the CLUSTERSOC_PDES
+// environment variable) installs a process-wide worker count; every
+// cluster.New call after that partitions the simulation by node onto
+// sim.PDES child engines when the configuration is eligible:
+//
+//   - more than one node (a single partition has nothing to parallelize),
+//   - a network with positive minimum link latency (the conservative
+//     lookahead window; the Ideal profile provides none),
+//   - no fault plan (the fault plane's restore timers and crash windows
+//     ride the shared network clock) and no trace recording (the tracer's
+//     per-rank records interleave through shared state).
+//
+// Ineligible configurations silently fall back to the sequential engine —
+// PDES is a property of one execution, never of the scenario, so the
+// fallback keeps results identical by construction. Observer attachments
+// that thread shared state through the hot path (Instrument,
+// EnableChecking, RecordCritPath) panic on a partitioned cluster instead
+// of racing; the runner requests a sequential run for those modes.
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"sync/atomic"
+
+	"clustersoc/internal/sim"
+)
+
+var pdesWorkers atomic.Int32
+
+func init() {
+	// CLUSTERSOC_PDES lets test runs and CI enable partitioned execution
+	// without touching call sites (the CLUSTERSOC_BACKEND idiom). The
+	// value is the worker count; a typo must fail loudly, not silently
+	// run sequentially.
+	if v := os.Getenv("CLUSTERSOC_PDES"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			panic(fmt.Sprintf("cluster: CLUSTERSOC_PDES must be a non-negative worker count, got %q", v))
+		}
+		pdesWorkers.Store(int32(n))
+	}
+}
+
+// SetPDES installs the process-wide PDES worker count and returns the
+// previous value (so tests can restore it). workers <= 0 disables
+// partitioned execution; otherwise eligible clusters created afterwards
+// run their partitions on up to that many concurrent workers.
+func SetPDES(workers int) int {
+	if workers < 0 {
+		workers = 0
+	}
+	return int(pdesWorkers.Swap(int32(workers)))
+}
+
+// PDESWorkers returns the process-wide PDES worker count (0 = disabled).
+func PDESWorkers() int { return int(pdesWorkers.Load()) }
+
+// pdesEligible reports whether cfg can run partitioned (see the package
+// comment above for the rules).
+func (cfg Config) pdesEligible(lookahead float64) bool {
+	return cfg.Nodes > 1 &&
+		lookahead > 0 &&
+		!cfg.Traced &&
+		!cfg.Faults.Enabled() &&
+		!cfg.Faults.LosesMessages()
+}
+
+// Partitioned reports whether this cluster runs under conservative PDES.
+func (cl *Cluster) Partitioned() bool { return cl.pd != nil }
+
+// nodeEng returns the engine that owns node i's components: the partition
+// child under PDES, the shared engine otherwise.
+func (cl *Cluster) nodeEng(i int) *sim.Engine {
+	if cl.pd != nil {
+		return cl.pd.Child(i)
+	}
+	return cl.Eng
+}
+
+// flopCredit is one deferred FLOP credit on a partitioned run: contexts
+// log (time, order, flops) locally instead of adding into the shared
+// accumulator, and settlePDES replays the logs in the global event order.
+type flopCredit struct {
+	t   float64
+	ord sim.Order
+	f   float64
+}
+
+// settlePDES merges the per-rank FLOP-credit logs and per-rank job finish
+// times after a partitioned run. Credits replay in (time, causal order) —
+// exactly the order the sequential engine's single accumulator sees them
+// in — so the floating-point sums come out bit-identical. Credits from the
+// same event (equal order tokens) keep their append order via the stable
+// sort, which is their program order.
+func (cl *Cluster) settlePDES() {
+	type tagged struct {
+		t   float64
+		ord sim.Order
+		f   float64
+		ctx int
+	}
+	var all []tagged
+	for i, ctx := range cl.ctxs {
+		for _, c := range ctx.credits {
+			all = append(all, tagged{t: c.t, ord: c.ord, f: c.f, ctx: i})
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].t != all[j].t {
+			return all[i].t < all[j].t
+		}
+		return all[i].ord.Before(all[j].ord)
+	})
+	for _, c := range all {
+		cl.flops += c.f
+		if job := cl.ctxs[c.ctx].job; job != nil {
+			job.FLOPs += c.f
+		}
+	}
+	for _, job := range cl.jobL {
+		for _, t := range job.fin {
+			if t > job.Finish {
+				job.Finish = t
+			}
+		}
+	}
+}

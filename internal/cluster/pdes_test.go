@@ -1,0 +1,189 @@
+package cluster_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+
+	"clustersoc/internal/cluster"
+	"clustersoc/internal/faults"
+	"clustersoc/internal/network"
+	"clustersoc/internal/workloads"
+)
+
+// withPDES runs fn with the process-wide PDES worker count set, restoring
+// the previous value afterwards.
+func withPDES(workers int, fn func()) {
+	prev := cluster.SetPDES(workers)
+	defer cluster.SetPDES(prev)
+	fn()
+}
+
+// runWorkload assembles the cg reference system (or a variant via mutate),
+// runs one workload at a small scale, and returns the Result JSON — the
+// exact artifact encoding the experiment drivers persist.
+func runWorkload(t *testing.T, name string, scale float64, mutate func(*cluster.Config)) []byte {
+	t.Helper()
+	w, err := workloads.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cluster.TX1Cluster(8, network.TenGigE)
+	cfg.RanksPerNode = w.RanksPerNode()
+	if w.GPUAccelerated() {
+		cfg.FileServer = true
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	cl := cluster.New(cfg)
+	res := cl.Run(w.Body(workloads.Config{Scale: scale}))
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestPDESByteIdenticalAcrossAllWorkloads is the tentpole determinism pin:
+// every registered workload must produce byte-identical artifact JSON
+// under partitioned execution, for every worker count in the sweep. The
+// sequential result is the reference.
+func TestPDESByteIdenticalAcrossAllWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every workload several times")
+	}
+	for _, w := range workloads.All() {
+		name := w.Name()
+		t.Run(name, func(t *testing.T) {
+			seq := runWorkload(t, name, 0.02, nil)
+			for _, workers := range []int{1, 2, 4, 8} {
+				var par []byte
+				withPDES(workers, func() { par = runWorkload(t, name, 0.02, nil) })
+				if string(seq) != string(par) {
+					t.Fatalf("workers=%d: PDES artifact diverges from sequential\nseq: %s\npar: %s",
+						workers, seq, par)
+				}
+			}
+		})
+	}
+}
+
+// TestPDESByteIdenticalAcrossGOMAXPROCS sweeps the scheduler dimension on
+// the cg reference scenario: identical bytes at GOMAXPROCS 1, 2, 4, 8.
+func TestPDESByteIdenticalAcrossGOMAXPROCS(t *testing.T) {
+	seq := runWorkload(t, "cg", 0.04, nil)
+	for _, procs := range []int{1, 2, 4, 8} {
+		old := runtime.GOMAXPROCS(procs)
+		var par []byte
+		withPDES(4, func() { par = runWorkload(t, "cg", 0.04, nil) })
+		runtime.GOMAXPROCS(old)
+		if string(seq) != string(par) {
+			t.Fatalf("GOMAXPROCS=%d: PDES artifact diverges from sequential", procs)
+		}
+	}
+}
+
+// TestPDESIdenticalWithFileServer covers the cross-partition NFS path:
+// Fetch crosses from the server port into the rank's node.
+func TestPDESIdenticalWithFileServer(t *testing.T) {
+	mutate := func(c *cluster.Config) { c.FileServer = true }
+	seq := runWorkload(t, "alexnet", 0.05, mutate)
+	var par []byte
+	withPDES(4, func() { par = runWorkload(t, "alexnet", 0.05, mutate) })
+	if string(seq) != string(par) {
+		t.Fatalf("file-server run diverges under PDES\nseq: %s\npar: %s", seq, par)
+	}
+}
+
+func TestPDESEligibilityGating(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*cluster.Config)
+		want   bool
+	}{
+		{"eligible", nil, true},
+		{"single node", func(c *cluster.Config) {
+			c.Nodes = 1
+			c.RanksPerNode = 4
+		}, false},
+		{"ideal network (no lookahead)", func(c *cluster.Config) { c.Network = network.Ideal }, false},
+		{"traced", func(c *cluster.Config) { c.Traced = true }, false},
+		{"faults", func(c *cluster.Config) {
+			c.Faults = &faults.Plan{Seed: 1, StragglerFraction: 0.5, StragglerFactor: 2}
+		}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := cluster.TX1Cluster(4, network.TenGigE)
+			if tc.mutate != nil {
+				tc.mutate(&cfg)
+			}
+			withPDES(4, func() {
+				if got := cluster.New(cfg).Partitioned(); got != tc.want {
+					t.Fatalf("Partitioned() = %v, want %v", got, tc.want)
+				}
+			})
+		})
+	}
+	// Disabled process-wide: never partitioned.
+	if cluster.New(cluster.TX1Cluster(4, network.TenGigE)).Partitioned() {
+		t.Fatal("cluster partitioned with PDES disabled")
+	}
+	// NewSequential suppresses partitioning even when enabled.
+	withPDES(4, func() {
+		if cluster.NewSequential(cluster.TX1Cluster(4, network.TenGigE)).Partitioned() {
+			t.Fatal("NewSequential built a partitioned cluster")
+		}
+	})
+}
+
+func TestPDESObserverAttachmentsPanic(t *testing.T) {
+	attach := map[string]func(*cluster.Cluster){
+		"Instrument":     func(cl *cluster.Cluster) { cl.Instrument(nil) },
+		"EnableChecking": func(cl *cluster.Cluster) { cl.EnableChecking() },
+		"RecordCritPath": func(cl *cluster.Cluster) { cl.RecordCritPath() },
+	}
+	for name, fn := range attach {
+		t.Run(name, func(t *testing.T) {
+			withPDES(2, func() {
+				cl := cluster.New(cluster.TX1Cluster(4, network.TenGigE))
+				if name == "Instrument" {
+					// Instrument(nil) is the documented no-op; it must stay
+					// allowed even on a partitioned cluster.
+					fn(cl)
+					return
+				}
+				defer func() {
+					r := recover()
+					if r == nil {
+						t.Fatalf("%s did not panic on a partitioned cluster", name)
+					}
+					if !strings.Contains(fmt.Sprint(r), "partitioned") {
+						t.Fatalf("%s panic does not name the PDES conflict: %v", name, r)
+					}
+				}()
+				fn(cl)
+			})
+		})
+	}
+}
+
+func TestSetPDESRoundTrip(t *testing.T) {
+	prev := cluster.SetPDES(7)
+	defer cluster.SetPDES(prev)
+	if got := cluster.PDESWorkers(); got != 7 {
+		t.Fatalf("PDESWorkers() = %d after SetPDES(7)", got)
+	}
+	if old := cluster.SetPDES(0); old != 7 {
+		t.Fatalf("SetPDES returned %d, want previous value 7", old)
+	}
+	if got := cluster.PDESWorkers(); got != 0 {
+		t.Fatalf("PDESWorkers() = %d after disabling", got)
+	}
+	if cluster.SetPDES(-5); cluster.PDESWorkers() != 0 {
+		t.Fatal("negative worker counts must clamp to disabled")
+	}
+}

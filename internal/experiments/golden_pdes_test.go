@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"clustersoc/internal/cluster"
+	"clustersoc/internal/runner"
+)
+
+// TestArtifactsByteIdenticalUnderPDES regenerates the full cmd/experiments
+// artifact set with partitioned execution enabled process-wide and requires
+// the bytes to match the same sequential golden file as
+// TestArtifactsByteIdenticalToGolden. This is the end-to-end determinism
+// pin for the PDES mode: every eligible scenario runs partitioned, every
+// ineligible one (traced, faulted, single-node, ideal-network) falls back
+// to the sequential engine, and the artifact set must not move by a single
+// byte either way.
+func TestArtifactsByteIdenticalUnderPDES(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates every artifact")
+	}
+	prev := cluster.SetPDES(4)
+	defer cluster.SetPDES(prev)
+
+	o := DefaultOptions()
+	o.Scale = 0.04
+	o.Runner = runner.New(4)
+
+	var got bytes.Buffer
+	if err := WriteArtifactsJSON(&got, Artifacts(o)); err != nil {
+		t.Fatal(err)
+	}
+
+	want, err := os.ReadFile(filepath.Join("testdata", "artifacts-scale0.04.golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		gl := bytes.Split(got.Bytes(), []byte("\n"))
+		wl := bytes.Split(want, []byte("\n"))
+		for i := 0; i < len(gl) && i < len(wl); i++ {
+			if !bytes.Equal(gl[i], wl[i]) {
+				t.Fatalf("PDES artifact JSON diverges from sequential golden at line %d:\n got: %s\nwant: %s",
+					i+1, gl[i], wl[i])
+			}
+		}
+		t.Fatalf("PDES artifact JSON length changed: got %d bytes, golden %d", got.Len(), len(want))
+	}
+}

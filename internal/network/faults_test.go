@@ -124,3 +124,83 @@ func TestDeliverAfterFloorsServiceStart(t *testing.T) {
 		t.Fatalf("past floor changed the booking: %g, want %g", sf2, svc)
 	}
 }
+
+// TestIntraNodeFlapThenForceDownIterates pins the loopback admission fix:
+// escaping a flap window on the intra-node memory path can land the
+// service start inside a crash-outage (ForceDown) window, and a single
+// admitOne pass would not re-check the forced windows after the move. The
+// wire path has always iterated (admit); the loopback path must too.
+func TestIntraNodeFlapThenForceDownIterates(t *testing.T) {
+	e := sim.NewEngine()
+	nw := New(e, 2, TenGigE)
+	// Flap [1,2) flows into outage [2,3): a booking floored at 1.5 escapes
+	// the flap to 2, which is exactly inside the outage, and must end up
+	// at 3.
+	nw.InjectLinkFaults(0, 0, &fakeFlaps{ws: [][2]float64{{1, 2}}})
+	nw.ForceDown(0, 2, 3)
+	var sf float64
+	e.Spawn("sender", func(p *sim.Process) {
+		p.SleepUntil(1.5)
+		sf, _ = nw.Deliver(0, 0, 1000) // src == dst: memory path
+		p.SleepUntil(sf)
+	})
+	e.Run()
+	svc := 1000 / MemoryPathBandwidth
+	if want := 3 + svc; math.Abs(sf-want) > 1e-12 {
+		t.Fatalf("loopback sender free at %g, want %g (start must clear both windows)", sf, want)
+	}
+	delays, seconds, _ := nw.FlapDelays()
+	if delays != 2 {
+		t.Fatalf("flap delays = %d, want 2 (one per window crossed)", delays)
+	}
+	if math.Abs(seconds-(0.5+1)) > 1e-12 {
+		t.Fatalf("flap delay seconds = %g, want 1.5", seconds)
+	}
+}
+
+// TestIntraNodeForceDownThenFlapIterates is the mirrored interleaving:
+// the outage comes first and pushes the start into a later flap window.
+func TestIntraNodeForceDownThenFlapIterates(t *testing.T) {
+	e := sim.NewEngine()
+	nw := New(e, 2, TenGigE)
+	nw.InjectLinkFaults(0, 0, &fakeFlaps{ws: [][2]float64{{2, 2.5}}})
+	nw.ForceDown(0, 1, 2)
+	var sf float64
+	e.Spawn("sender", func(p *sim.Process) {
+		p.SleepUntil(1.5)
+		sf, _ = nw.Deliver(0, 0, 1000)
+		p.SleepUntil(sf)
+	})
+	e.Run()
+	svc := 1000 / MemoryPathBandwidth
+	if want := 2.5 + svc; math.Abs(sf-want) > 1e-12 {
+		t.Fatalf("loopback sender free at %g, want %g", sf, want)
+	}
+}
+
+// TestDeliverAfterFloorInsideDownWindow pins DeliverAfter's interaction
+// with the fault plane: an `earliest` floor landing inside a down window
+// starts service at the window's end, not at the floor.
+func TestDeliverAfterFloorInsideDownWindow(t *testing.T) {
+	e := sim.NewEngine()
+	nw := New(e, 2, TenGigE)
+	nw.ForceDown(0, 2, 3)
+	var sf, arr float64
+	e.Spawn("sender", func(p *sim.Process) {
+		// Called at t=0 with a floor of 2.5 — inside the outage.
+		sf, arr = nw.DeliverAfter(0, 1, 1000, 2.5)
+		p.SleepUntil(sf)
+	})
+	e.Run()
+	svc := 1000 / TenGigE.Throughput
+	if want := 3 + svc; math.Abs(sf-want) > 1e-12 {
+		t.Fatalf("sender free at %g, want %g (floor inside outage must slide to its end)", sf, want)
+	}
+	if want := 3 + svc + TenGigE.Latency; math.Abs(arr-want) > 1e-12 {
+		t.Fatalf("arrival at %g, want %g", arr, want)
+	}
+	delays, seconds, _ := nw.FlapDelays()
+	if delays != 1 || math.Abs(seconds-0.5) > 1e-12 {
+		t.Fatalf("outage delay accounting = (%d, %g), want (1, 0.5)", delays, seconds)
+	}
+}

@@ -1,0 +1,508 @@
+package sim
+
+// Conservative parallel discrete-event simulation (PDES).
+//
+// A PDES run partitions the simulation into per-node child engines, each
+// with its own calendar, clock, and sequence counter. Children execute
+// event bursts concurrently on a bounded worker pool inside a conservative
+// window derived from the network's minimum link latency (the lookahead):
+// no partition may execute an event at or beyond the current bound, so a
+// cross-partition message booked at time t — whose earliest effect on a
+// peer calendar is t + lookahead — can never land behind a peer's executed
+// frontier.
+//
+// Cross-partition operations (MPI sends crossing nodes, NFS fetches) do
+// not ride the window: they read and mutate shared port state and the
+// destination rank's matching structures at the instant they execute, so
+// they are serialized. The issuing process parks (AcquireCross) and the
+// coordinator grants parked operations one at a time in canonical
+// (time, pedigree) order — the position the operation's executing event
+// holds in the sequential total order — each grant only firing once every
+// other partition provably cannot produce an earlier one. Grant order — not
+// goroutine scheduling — therefore determines every shared-state mutation
+// order, which is what makes a PDES run bit-identical across worker
+// counts and GOMAXPROCS settings.
+//
+// Determinism argument, inductively: given identical partition states at a
+// round boundary, the stall positions, grant sequence, and released bound
+// are pure functions of that state; bursts between boundaries touch only
+// partition-local state; therefore the states at the next boundary are
+// identical too. Nothing in the protocol reads wall-clock time or depends
+// on which worker executes a burst.
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// childPhase is the coordinator's view of one partition child.
+type childPhase uint8
+
+const (
+	// cPaused: stalled — either at the conservative bound or with an empty
+	// calendar — with pos holding the next event time (+Inf when none).
+	cPaused childPhase = iota
+	// cGo: released by the coordinator; the runner should start a burst.
+	cGo
+	// cRunning: a burst is in progress on the child's runner.
+	cRunning
+	// cParked: a process parked in AcquireCross; pos/note hold the
+	// operation's time and destination.
+	cParked
+	// cGrant: the coordinator told the runner to deliver the grant.
+	cGrant
+)
+
+// crossNote describes a parked cross-partition operation.
+type crossNote struct {
+	t   float64 // simulation time of the operation
+	ped *ped    // pedigree of the event executing the operation
+	dst int     // destination partition (may be out of range: no child)
+}
+
+// childState is the coordinator-side record for one child. All fields are
+// guarded by PDES.mu.
+type childState struct {
+	phase childPhase
+	pos   float64    // stall position (valid when paused or parked)
+	note  *crossNote // the parked operation (parked/grant phases)
+	excl  bool       // grant delivered, exclusive section still open
+}
+
+// PDES coordinates conservative parallel execution across partition child
+// engines. Construct with NewPDES, bind one partition per network node via
+// Child, then call Run once all processes are spawned.
+type PDES struct {
+	kids []*Engine
+	look float64 // conservative lookahead window, seconds (> 0)
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	st       []childState
+	exit     bool
+	panicked any
+	slots    chan struct{} // bounds concurrently bursting children
+	wg       sync.WaitGroup
+	rootSeq  uint32 // pre-run spawn counter, shared across children (pedigree roots)
+}
+
+// NewPDES creates a coordinator with parts partition children. lookahead
+// is the conservative window (the network's minimum link latency) and must
+// be positive; workers bounds how many partitions burst concurrently
+// (clamped to [1, parts]).
+func NewPDES(parts int, lookahead float64, workers int) *PDES {
+	if parts <= 0 {
+		panic("sim: NewPDES needs at least one partition")
+	}
+	if !(lookahead > 0) {
+		panic(fmt.Sprintf("sim: NewPDES lookahead must be positive, got %g", lookahead))
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > parts {
+		workers = parts
+	}
+	d := &PDES{
+		kids:  make([]*Engine, parts),
+		look:  lookahead,
+		st:    make([]childState, parts),
+		slots: make(chan struct{}, workers),
+	}
+	d.cond = sync.NewCond(&d.mu)
+	for i := range d.kids {
+		c := NewEngine()
+		c.pd = d
+		c.pid = i
+		c.strict = true
+		c.grant = make(chan struct{})
+		d.kids[i] = c
+	}
+	return d
+}
+
+// Parts returns the number of partitions.
+func (d *PDES) Parts() int { return len(d.kids) }
+
+// Lookahead returns the conservative window in seconds.
+func (d *PDES) Lookahead() float64 { return d.look }
+
+// Child returns partition i's engine. Model components belonging to node i
+// (processes, pipes, accelerators) must be constructed against it.
+func (d *PDES) Child(i int) *Engine { return d.kids[i] }
+
+// AcquireCross parks the driving process until the PDES coordinator grants
+// its cross-partition operation. dst names the destination partition (an
+// out-of-range value — e.g. the file-server node, which has no partition —
+// waives the destination-stall requirement). On a sequential engine, or
+// when the process is already inside an open exclusive section
+// (back-to-back zero-delay operations), this is a no-op.
+//
+// The exclusive section it opens ends at the process's next yield; until
+// then the process may freely touch shared network/matching state and
+// insert events into the (stalled) destination partition's calendar.
+func (e *Engine) AcquireCross(dst int) {
+	if e.pd == nil || e.exclArmed {
+		return
+	}
+	e.ret <- runStatus{cross: &crossNote{t: e.now, ped: e.curPed, dst: dst}}
+	<-e.grant
+	e.exclArmed = true
+}
+
+// atomicNow returns the child's clock as last published by its event loop.
+// Safe to call from the coordinator while the child bursts.
+func (e *Engine) atomicNow() float64 {
+	return math.Float64frombits(atomic.LoadUint64(&e.atomNow))
+}
+
+// nextTime returns the child's earliest pending event time, or +Inf.
+// Callers must know the child is stalled.
+func (e *Engine) nextTime() float64 {
+	if len(e.queue) == 0 {
+		return math.Inf(1)
+	}
+	return e.queue[0].time
+}
+
+// Run executes all partitions to completion and returns the final
+// simulation time (the maximum child clock). It panics with an aggregate
+// diagnostic if the simulation deadlocks, and re-raises any panic escaping
+// a process body. Run must be called exactly once.
+func (d *PDES) Run() float64 {
+	for i := range d.kids {
+		d.st[i] = childState{phase: cPaused, pos: d.kids[i].nextTime()}
+		d.wg.Add(1)
+		go d.runChild(i)
+	}
+	d.mu.Lock()
+	for {
+		d.waitAllStalled()
+		if d.panicked != nil {
+			break
+		}
+		if d.grantLoop() {
+			// Granted children are bursting; wait for them to stall again
+			// before computing the next bound (they may park new ops).
+			continue
+		}
+		if d.panicked != nil {
+			break
+		}
+		// All stalled, no grantable operation. Find the horizon. Paused
+		// positions are re-read from the calendars: a granted operation may
+		// have inserted events into a stalled destination since that child
+		// last reported its stall.
+		minPos, parkT := math.Inf(1), math.Inf(1)
+		var parkPed *ped
+		for i := range d.st {
+			s := &d.st[i]
+			if s.phase == cPaused {
+				s.pos = d.kids[i].nextTime()
+			}
+			if s.pos < minPos {
+				minPos = s.pos
+			}
+			if s.phase == cParked &&
+				(s.pos < parkT || (s.pos == parkT && pedBefore(s.note.ped, parkPed))) {
+				parkT, parkPed = s.pos, s.note.ped
+			}
+		}
+		if math.IsInf(minPos, 1) {
+			break // nothing pending anywhere: finished (or deadlocked)
+		}
+		// Release paused children up to the conservative bound. The bound
+		// never passes a parked operation: its port bookings and match
+		// mutations happen at its own (time, pedigree) position, and peers
+		// must not execute anything ordered after it. Events tying the
+		// parked time but ordered before it by pedigree — the events a
+		// sequential run would execute first — are admitted via limitPed.
+		limT, limPed := minPos+d.look, (*ped)(nil)
+		if parkT < limT {
+			limT, limPed = parkT, parkPed
+		}
+		for i := range d.st {
+			s := &d.st[i]
+			if s.phase != cPaused {
+				continue
+			}
+			c := d.kids[i]
+			if len(c.queue) == 0 {
+				continue
+			}
+			h := &c.queue[0]
+			if h.time < limT || (h.time == limT && limPed != nil && pedBefore(h.ped, limPed)) {
+				c.limit = limT
+				c.limitPed = limPed
+				s.phase = cGo
+			}
+		}
+		d.cond.Broadcast()
+	}
+	d.exit = true
+	d.cond.Broadcast()
+	d.mu.Unlock()
+	d.wg.Wait()
+	if d.panicked != nil {
+		panic(d.panicked)
+	}
+	procs := 0
+	for _, c := range d.kids {
+		procs += c.procs
+	}
+	if procs > 0 {
+		msg := fmt.Sprintf("sim: deadlock: %d process(es) blocked across %d partitions with no pending events", procs, len(d.kids))
+		var neg, nan uint64
+		for _, c := range d.kids {
+			neg += c.clampedNeg
+			nan += c.clampedNaN
+		}
+		if neg+nan > 0 {
+			msg += fmt.Sprintf(" (%d negative and %d NaN delays were clamped to 0 — a model emitted invalid delays)", neg, nan)
+		}
+		panic(msg)
+	}
+	final := 0.0
+	for _, c := range d.kids {
+		if c.now > final {
+			final = c.now
+		}
+	}
+	return final
+}
+
+// waitAllStalled blocks until no child is running, released, or inside an
+// open exclusive section. Called with mu held.
+func (d *PDES) waitAllStalled() {
+	for {
+		busy := false
+		for i := range d.st {
+			s := &d.st[i]
+			if s.phase == cRunning || s.phase == cGo || s.phase == cGrant || s.excl {
+				busy = true
+				break
+			}
+		}
+		if !busy {
+			return
+		}
+		d.cond.Wait()
+	}
+}
+
+// grantLoop grants parked cross-partition operations in canonical
+// (time, pedigree) order for as long as one is provably safe to release.
+// Returns whether any grant was delivered. Called with mu held.
+func (d *PDES) grantLoop() bool {
+	granted := false
+	for d.panicked == nil {
+		// Earliest parked operation by (time, pedigree) — the position its
+		// executing event holds in the sequential total order.
+		best := -1
+		for i := range d.st {
+			s := &d.st[i]
+			if s.phase != cParked {
+				continue
+			}
+			if best < 0 || s.pos < d.st[best].pos ||
+				(s.pos == d.st[best].pos && pedBefore(s.note.ped, d.st[best].note.ped)) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return granted
+		}
+		t, bp := d.st[best].pos, d.st[best].note.ped
+		// A paused child whose calendar head orders before the candidate —
+		// earlier time, or the same time with an earlier pedigree — would
+		// execute first in a sequential run and could itself produce an
+		// earlier operation, so the bound must release it before anything
+		// is granted.
+		ready := true
+		for i := range d.st {
+			s := &d.st[i]
+			if i == best {
+				continue
+			}
+			switch s.phase {
+			case cPaused:
+				// Fresh read: an earlier grant may have fed this calendar.
+				c := d.kids[i]
+				if len(c.queue) > 0 {
+					h := &c.queue[0]
+					if h.time < t || (h.time == t && pedBefore(h.ped, bp)) {
+						return granted // bound release must come first
+					}
+				}
+			case cParked:
+				// Ordered after best by (time, pedigree); no constraint.
+			default:
+				// Running (or mid-grant): must have provably passed t, or
+				// it could still park an operation ordered before best's.
+				if d.kids[i].atomicNow() <= t {
+					ready = false
+				}
+			}
+		}
+		// Memory safety: the destination partition's calendar and matching
+		// state are mutated by the granted process, so the destination must
+		// be stalled (it stays stalled: only this coordinator releases).
+		if dst := d.st[best].note.dst; ready && dst >= 0 && dst < len(d.st) && dst != best {
+			if ph := d.st[dst].phase; ph == cRunning || ph == cGo || ph == cGrant || d.st[dst].excl {
+				ready = false
+			}
+		}
+		if !ready {
+			d.cond.Wait() // horizons only advance; re-evaluate on any stall
+			continue
+		}
+		s := &d.st[best]
+		s.phase = cGrant
+		s.excl = true
+		granted = true
+		d.cond.Broadcast()
+		// Wait for the exclusive section to close before ordering the next
+		// grant; the child then keeps bursting concurrently.
+		for d.st[best].excl && d.panicked == nil {
+			d.cond.Wait()
+		}
+	}
+	return granted
+}
+
+// runChild is the per-partition runner goroutine: it starts bursts and
+// delivers grants when told to, and reports stalls back to the
+// coordinator. The actual event work runs on process goroutines via the
+// engine's baton protocol; the runner is the stationary endpoint of the
+// child's ret channel.
+func (d *PDES) runChild(pid int) {
+	defer d.wg.Done()
+	c := d.kids[pid]
+	d.mu.Lock()
+	for {
+		for d.st[pid].phase != cGo && d.st[pid].phase != cGrant && !d.exit {
+			d.cond.Wait()
+		}
+		if d.exit {
+			d.mu.Unlock()
+			return
+		}
+		grant := d.st[pid].phase == cGrant
+		d.st[pid].phase = cRunning
+		d.mu.Unlock()
+
+		d.slots <- struct{}{} // acquire a worker slot
+		if grant {
+			c.grant <- struct{}{}
+			d.pump(pid, c)
+		} else if c.drive(nil) == drivePaused {
+			d.stallPaused(pid, c)
+		} else {
+			d.pump(pid, c)
+		}
+		d.mu.Lock()
+	}
+}
+
+// pump consumes the child's ret channel until the burst stalls (pause,
+// park, or panic), maintaining coordinator state along the way.
+func (d *PDES) pump(pid int, c *Engine) {
+	for {
+		st := <-c.ret
+		switch {
+		case st.panicVal != nil:
+			<-d.slots
+			d.mu.Lock()
+			if d.panicked == nil {
+				d.panicked = st.panicVal
+			}
+			d.st[pid].phase = cPaused
+			d.st[pid].pos = math.Inf(1)
+			d.st[pid].excl = false
+			d.cond.Broadcast()
+			d.mu.Unlock()
+			return
+		case st.exclEnd:
+			d.mu.Lock()
+			d.st[pid].excl = false
+			d.cond.Broadcast()
+			d.mu.Unlock()
+		case st.cross != nil:
+			<-d.slots
+			d.mu.Lock()
+			d.st[pid].phase = cParked
+			d.st[pid].pos = st.cross.t
+			d.st[pid].note = st.cross
+			d.cond.Broadcast()
+			d.mu.Unlock()
+			return
+		default:
+			d.stallPaused(pid, c)
+			return
+		}
+	}
+}
+
+// stallPaused records a bound stall (releasing the worker slot) and wakes
+// the coordinator.
+func (d *PDES) stallPaused(pid int, c *Engine) {
+	<-d.slots
+	d.mu.Lock()
+	d.st[pid].phase = cPaused
+	d.st[pid].pos = c.nextTime()
+	d.st[pid].note = nil
+	d.cond.Broadcast()
+	d.mu.Unlock()
+}
+
+// Events returns the total events processed across all partitions.
+func (d *PDES) Events() uint64 {
+	var n uint64
+	for _, c := range d.kids {
+		n += c.events
+	}
+	return n
+}
+
+// StaleWakes returns the total stale wake-ups across all partitions.
+func (d *PDES) StaleWakes() uint64 {
+	var n uint64
+	for _, c := range d.kids {
+		n += c.staleWakes
+	}
+	return n
+}
+
+// BlockedSeconds sums blocked time across partitions in partition order.
+// Note the sum is FP-associated per partition first, unlike the sequential
+// engine's single accumulator; profiles (not artifacts) may differ in
+// final bits.
+func (d *PDES) BlockedSeconds() float64 {
+	var s float64
+	for _, c := range d.kids {
+		s += c.blocked
+	}
+	return s
+}
+
+// QueueHighWater returns the deepest any partition calendar has been.
+func (d *PDES) QueueHighWater() int {
+	m := 0
+	for _, c := range d.kids {
+		if c.maxQueue > m {
+			m = c.maxQueue
+		}
+	}
+	return m
+}
+
+// ClampedDelays aggregates clamp counters across partitions.
+func (d *PDES) ClampedDelays() (negative, nan uint64) {
+	for _, c := range d.kids {
+		negative += c.clampedNeg
+		nan += c.clampedNaN
+	}
+	return
+}

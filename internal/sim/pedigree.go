@@ -1,0 +1,92 @@
+package sim
+
+// Causal pedigrees: the partitioned (PDES) replacement for the sequential
+// engine's global sequence numbers.
+//
+// The sequential engine breaks time ties by seq — global push order. Push
+// order is itself determined by execution order: pushes happen while events
+// execute, events execute in (time, seq) order, and pushes within one event
+// follow program order. So the push order of two events is the lexicographic
+// order of their causal pedigrees:
+//
+//	(pusher's execution time, pusher's own pedigree, intra-pusher push index)
+//
+// grounded at the pre-run spawns, which are ordered by a global spawn
+// counter. A partitioned run can reconstruct this order without ever seeing
+// the sequential interleaving: each push records an immutable pedigree node
+// pointing at the pedigree of the event that performed it. Comparing two
+// pedigrees then walks the ancestor chains in lockstep until either the
+// push times differ or a common ancestor (or the spawn roots) is reached —
+// which is exactly the recursion that defines sequential seq order.
+//
+// Pedigrees exist only on partitioned engines (Engine.pd != nil); a
+// sequential engine stamps nil and keeps ordering by seq, so the hot path
+// pays one nil comparison and nothing else.
+type ped struct {
+	parent *ped    // pedigree of the event that performed this push; nil for spawn roots
+	t      float64 // execution time of the pushing event; -1 for spawn roots
+	i      uint32  // push index within the pushing event (spawn roots: global spawn order)
+}
+
+// pedBefore reports whether push a happened before push b in the
+// sequential execution order. a and b must be distinct pushes (the engine
+// never stamps the same node onto two events); identical nodes compare
+// not-before in both directions, which sorts treat as equal.
+func pedBefore(a, b *ped) bool {
+	for {
+		if a == b {
+			return false
+		}
+		if a.t != b.t {
+			return a.t < b.t
+		}
+		if a.parent == b.parent {
+			// Same pushing event (or both spawn roots): program order.
+			return a.i < b.i
+		}
+		// Same push time, different pushers: order by the pushers' own
+		// push order. Chains can only tie in time back to a common
+		// ancestor or to the roots (t = -1, parent nil), so the walk
+		// terminates before either side dereferences a nil parent.
+		a, b = a.parent, b.parent
+	}
+}
+
+// stamp allocates the pedigree node for a push performed by e's current
+// execution context. Sequential engines return nil. A nil curPed means no
+// event has run yet — the pre-run spawn context, ordered by the
+// coordinator's global spawn counter so partitioned spawns keep the exact
+// sequence a single shared calendar would have assigned.
+func (e *Engine) stamp() *ped {
+	if e.pd == nil {
+		return nil
+	}
+	if e.curPed == nil {
+		i := e.pd.rootSeq
+		e.pd.rootSeq++
+		return &ped{t: -1, i: i}
+	}
+	i := e.pushIdx
+	e.pushIdx++
+	return &ped{parent: e.curPed, t: e.now, i: i}
+}
+
+// Order is an opaque causal-order token: the position of the caller's
+// current event in the global (time, push-order) total order. On a
+// sequential engine every token is zero and Before is always false —
+// callers there already observe effects in execution order. Partitioned
+// runs use tokens to merge per-partition logs (e.g. FLOP credits) into the
+// exact order a sequential run would have accumulated them in.
+type Order struct{ p *ped }
+
+// CurOrder returns the order token of the event e is currently executing.
+func (e *Engine) CurOrder() Order { return Order{p: e.curPed} }
+
+// Before reports whether o's event executed before q's. Zero tokens
+// (sequential engines) never order before anything.
+func (o Order) Before(q Order) bool {
+	if o.p == nil || q.p == nil {
+		return false
+	}
+	return pedBefore(o.p, q.p)
+}
