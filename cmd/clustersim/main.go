@@ -17,6 +17,7 @@ import (
 	"clustersoc/internal/cluster"
 	"clustersoc/internal/critpath"
 	"clustersoc/internal/network"
+	"clustersoc/internal/runner"
 	"clustersoc/internal/soc"
 	"clustersoc/internal/units"
 	"clustersoc/internal/workloads"
@@ -32,6 +33,7 @@ func main() {
 		list   = flag.Bool("list", false, "list available workloads and exit")
 		traceF = flag.String("trace", "", "write an Extrae-style execution trace to this file (replay it with cmd/replay)")
 		critP  = flag.String("critpath", "", "record the causal event graph, print the blame and what-if tables, and write a critical-path sidecar to this file ('-' prints tables only; inspect sidecars with cmd/whatif)")
+		storeD = flag.String("store", os.Getenv("CLUSTERSOC_STORE"), "persistent content-addressed result store directory (default $CLUSTERSOC_STORE): the run is served from a warm entry when present, simulated and persisted otherwise")
 		pdes   = flag.Bool("pdes", false, "run eligible configurations under conservative PDES (partitioned by node); results are bit-identical to sequential runs")
 		pdesW  = flag.Int("pdes-workers", 4, "PDES worker pool size (with -pdes)")
 	)
@@ -97,16 +99,46 @@ func main() {
 		cfg.Traced = true
 	}
 
-	cl := cluster.New(cfg)
-	if *critP != "" {
-		cl.RecordCritPath()
-	}
-	res := cl.Run(w.Body(workloads.Config{Scale: *scale}))
-
+	var res cluster.Result
 	var report *critpath.Report
-	if *critP != "" {
-		report = critpath.Analyze(cl.CritPath(),
-			fmt.Sprintf("%s on %s", w.Name(), cfg.Name), "", res.Runtime)
+	var partitioned bool
+	if *storeD != "" {
+		// The store tier lives in the run-plane, so a stored run goes
+		// through a single-worker runner: a warm entry (including its
+		// persisted critical-path report) decodes instead of simulating.
+		st, err := runner.OpenStore(*storeD)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		rn := runner.New(1)
+		rn.SetStore(st)
+		rn.SetCritPath(*critP != "")
+		rres, err := rn.Run(runner.Scenario{
+			Cluster:  cfg,
+			Workload: w.Name(),
+			Config:   workloads.Config{Scale: *scale},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		res = rres.Result
+		report = rres.CritPath
+		rst := rn.Stats()
+		fmt.Fprintf(os.Stderr, "store: %d hits, %d misses, %d writes, %d corrupt (%s, schema %d)\n",
+			rst.StoreHits, rst.StoreMisses, rst.StoreWrites, rst.StoreCorrupt, st.Dir(), st.Schema())
+	} else {
+		cl := cluster.New(cfg)
+		if *critP != "" {
+			cl.RecordCritPath()
+		}
+		res = cl.Run(w.Body(workloads.Config{Scale: *scale}))
+		partitioned = cl.Partitioned()
+		if *critP != "" {
+			report = critpath.Analyze(cl.CritPath(),
+				fmt.Sprintf("%s on %s", w.Name(), cfg.Name), "", res.Runtime)
+		}
 	}
 
 	if *traceF != "" {
@@ -129,7 +161,7 @@ func main() {
 	fmt.Printf("system:        %s\n", res.System)
 	fmt.Printf("workload:      %s (scale %.2f)\n", w.Name(), *scale)
 	fmt.Printf("ranks:         %d on %d node(s)\n", res.Ranks, res.Nodes)
-	if cl.Partitioned() {
+	if partitioned {
 		fmt.Printf("engine:        pdes (%d workers)\n", *pdesW)
 	}
 	fmt.Printf("runtime:       %s\n", units.Seconds(res.Runtime))

@@ -53,6 +53,7 @@ func main() {
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the regeneration to this file (host profiling of the simulator itself; written on clean completion)")
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile at exit to this file (written on clean completion)")
 		backend  = flag.String("backend", compute.Default().Name(), "compute backend executing the calibration kernels ("+strings.Join(compute.Names(), ", ")+"); the artifact tables are analytic and stay byte-identical either way")
+		storeDir = flag.String("store", os.Getenv("CLUSTERSOC_STORE"), "persistent content-addressed result store directory (default $CLUSTERSOC_STORE): warm entries decode instead of re-simulating, and results are deterministic so entries never go stale")
 		pdes     = flag.Bool("pdes", false, "run eligible scenarios under conservative PDES (partitioned by node); artifacts stay byte-identical to sequential runs")
 		pdesW    = flag.Int("pdes-workers", 4, "PDES worker pool size (with -pdes)")
 	)
@@ -113,6 +114,14 @@ func main() {
 	o.Runner.SetProfiling(*profile)
 	o.Runner.SetChecking(*check)
 	o.Runner.SetCritPath(*critPath)
+	if *storeDir != "" {
+		st, err := runner.OpenStore(*storeDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		o.Runner.SetStore(st)
+	}
 
 	known := map[string]bool{}
 	for _, k := range artifactKeys {
@@ -352,6 +361,10 @@ func main() {
 	st := o.Runner.Stats()
 	fmt.Fprintf(os.Stderr, "run-plane: %d scenarios submitted, %d simulated, %d duplicates served from cache (%d workers, peak %d in flight, %.1fs simulation wall)\n",
 		st.Submitted, st.Simulated, st.Hits, o.Runner.Workers(), st.MaxInFlight, st.WallSeconds)
+	if ps := o.Runner.Store(); ps != nil {
+		fmt.Fprintf(os.Stderr, "store: %d hits, %d misses, %d writes, %d corrupt (%s, schema %d)\n",
+			st.StoreHits, st.StoreMisses, st.StoreWrites, st.StoreCorrupt, ps.Dir(), ps.Schema())
+	}
 	if *check {
 		fmt.Fprintf(os.Stderr, "simcheck: %d scenario(s) audited, collective cost models verified — no invariant violations\n", st.Audited)
 	}

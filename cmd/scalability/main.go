@@ -17,6 +17,7 @@ import (
 	"clustersoc/internal/core"
 	"clustersoc/internal/critpath"
 	"clustersoc/internal/obs"
+	"clustersoc/internal/runner"
 )
 
 func main() {
@@ -30,6 +31,7 @@ func main() {
 		profile     = flag.Bool("profile", false, "collect per-scenario observability profiles and write a scalability.profile.json sidecar")
 		critPath    = flag.Bool("critpath", false, "record causal event graphs, print the largest run's blame table, and write a scalability.critpath.json sidecar (inspect with cmd/whatif)")
 		traceOut    = flag.String("trace-out", "", "write a Chrome/Perfetto trace of the largest traced run to this file")
+		storeDir    = flag.String("store", os.Getenv("CLUSTERSOC_STORE"), "persistent content-addressed result store directory (default $CLUSTERSOC_STORE): warm entries decode instead of re-simulating")
 		pdes        = flag.Bool("pdes", false, "run eligible scenarios under conservative PDES (partitioned by node); results stay bit-identical to sequential runs")
 		pdesW       = flag.Int("pdes-workers", 4, "PDES worker pool size (with -pdes)")
 	)
@@ -48,6 +50,14 @@ func main() {
 	session.SetChecking(*check)
 	session.SetProfiling(*profile)
 	session.SetCritPath(*critPath)
+	if *storeDir != "" {
+		st, err := runner.OpenStore(*storeDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		session.SetStore(st)
+	}
 	cfg := core.TX1(8, net)
 	res, err := session.Scalability(cfg, *workload, sizes, *scale)
 	if err != nil {
@@ -57,6 +67,10 @@ func main() {
 	st := session.Stats()
 	fmt.Fprintf(os.Stderr, "run-plane: %d scenarios submitted, %d simulated, %d duplicates served from cache (%d workers, peak %d in flight, %.1fs simulation wall)\n",
 		st.Submitted, st.Simulated, st.Hits, session.Runner().Workers(), st.MaxInFlight, st.WallSeconds)
+	if ps := session.Runner().Store(); ps != nil {
+		fmt.Fprintf(os.Stderr, "store: %d hits, %d misses, %d writes, %d corrupt (%s, schema %d)\n",
+			st.StoreHits, st.StoreMisses, st.StoreWrites, st.StoreCorrupt, ps.Dir(), ps.Schema())
+	}
 	if *check {
 		fmt.Fprintf(os.Stderr, "simcheck: %d scenario(s) audited — no invariant violations\n", st.Audited)
 	}

@@ -10,6 +10,7 @@ import (
 	"clustersoc/internal/obs"
 	"clustersoc/internal/runner"
 	"clustersoc/internal/stats"
+	"clustersoc/internal/store"
 	"clustersoc/internal/workloads"
 )
 
@@ -55,6 +56,11 @@ func (s *Session) SetChecking(on bool) { s.r.SetChecking(on) }
 // SetCritPath toggles causal event-graph recording and critical-path
 // analysis on the session's run-plane (see runner.Runner.SetCritPath).
 func (s *Session) SetCritPath(on bool) { s.r.SetCritPath(on) }
+
+// SetStore attaches a persistent content-addressed result store as the
+// session's second cache tier (see runner.Runner.SetStore). Open one
+// with runner.OpenStore.
+func (s *Session) SetStore(st *store.Store) { s.r.SetStore(st) }
 
 // CritPathReports returns the critical-path reports collected so far,
 // sorted by scenario fingerprint.

@@ -25,6 +25,7 @@ import (
 	"clustersoc/internal/critpath"
 	"clustersoc/internal/obs"
 	"clustersoc/internal/simcheck"
+	"clustersoc/internal/store"
 	"clustersoc/internal/workloads"
 )
 
@@ -114,6 +115,26 @@ type Stats struct {
 	// MaxInFlight is the worker-occupancy high-water mark — the most
 	// simulations that were ever executing at once.
 	MaxInFlight int
+
+	// The Store* fields account the persistent second tier (SetStore);
+	// all four stay zero without one. Like the wall fields they are
+	// host-side diagnostics — what is on disk varies run to run — and
+	// never enter result artifacts.
+
+	// StoreHits counts submissions served by decoding a persistent-store
+	// entry instead of simulating.
+	StoreHits int
+	// StoreMisses counts store lookups that found no servable entry (no
+	// entry, a corrupt one, or one missing a requested profile/critpath
+	// record). Lookups are bypassed entirely under SetChecking — the
+	// audit needs a live simulation — and those do not count.
+	StoreMisses int
+	// StoreWrites counts entries this Runner persisted.
+	StoreWrites int
+	// StoreCorrupt counts entries that existed but failed container
+	// verification or payload decoding; each was treated as a miss and
+	// repaired by simulate-and-rewrite.
+	StoreCorrupt int
 }
 
 // entry is one memoized scenario. The first submitter executes and
@@ -140,6 +161,9 @@ type Runner struct {
 	checking  bool
 	critpath  bool
 	inFlight  int
+	// store is the optional persistent second tier (SetStore): lookups
+	// fall through the in-memory map to it, executions persist into it.
+	store *store.Store
 }
 
 // New returns a Runner executing at most workers simulations
@@ -261,7 +285,8 @@ func (r *Runner) Stats() Stats {
 }
 
 // Run executes one scenario (or joins an identical run already cached or
-// in flight) and returns its measurements.
+// in flight, or decodes it from the persistent store) and returns its
+// measurements.
 func (r *Runner) Run(s Scenario) (Result, error) {
 	fp := s.Fingerprint()
 	r.mu.Lock()
@@ -274,30 +299,42 @@ func (r *Runner) Run(s Scenario) (Result, error) {
 	}
 	e := &entry{done: make(chan struct{})}
 	r.cache[fp] = e
-	r.stats.Simulated++
 	r.mu.Unlock()
 
 	r.sem <- struct{}{} // acquire a worker slot
 	r.mu.Lock()
 	profiled, checked, critpathOn := r.profiling, r.checking, r.critpath
+	st := r.store
+	r.mu.Unlock()
+	e.res, e.err = r.runTiered(s, fp, st, profiled, checked, critpathOn)
+	<-r.sem
+	close(e.done)
+	return e.res, e.err
+}
+
+// executeCounted runs one scenario through the executor with the
+// worker-occupancy, audit, and wall accounting attached. Only actual
+// executions pass through here — cache and store hits never do, so
+// Stats.Simulated counts simulations, not submissions.
+func (r *Runner) executeCounted(s Scenario, profiled, checked, critpathOn bool) (Result, error) {
+	r.mu.Lock()
+	r.stats.Simulated++
 	r.inFlight++
 	if r.inFlight > r.stats.MaxInFlight {
 		r.stats.MaxInFlight = r.inFlight
 	}
 	r.mu.Unlock()
 	start := time.Now()
-	e.res, e.err = r.exec(s, profiled, checked, critpathOn)
+	res, err := r.exec(s, profiled, checked, critpathOn)
 	wall := time.Since(start).Seconds()
 	r.mu.Lock()
 	r.inFlight--
-	if checked && e.err == nil {
+	if checked && err == nil {
 		r.stats.Audited++
 	}
 	r.stats.WallSeconds += wall
 	r.mu.Unlock()
-	<-r.sem
-	close(e.done)
-	return e.res, e.err
+	return res, err
 }
 
 // RunAll executes a batch. Distinct scenarios run concurrently up to the

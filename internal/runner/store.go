@@ -1,0 +1,236 @@
+// The persistent second cache tier: under the in-memory fingerprint map
+// sits an optional content-addressed on-disk store (internal/store).
+// Results are bit-deterministic, so a stored entry is valid forever — a
+// warm store turns full artifact regeneration into pure decode, and the
+// store's per-key lock files extend the run-plane's singleflight across
+// processes: N concurrent sweeps of one scenario grid simulate each
+// scenario once between them.
+package runner
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"clustersoc/internal/critpath"
+	"clustersoc/internal/obs"
+	"clustersoc/internal/store"
+)
+
+// StoreSchemaVersion is the persisted-result schema. Bump it whenever
+// the JSON encoding of a stored entry changes meaning — Result gaining,
+// losing, or reinterpreting a field; obs.Profile or critpath.Report
+// schema changes; anything that would make an old entry decode into a
+// different value than a fresh simulation produces. Bumping re-addresses
+// every key, so old entries become unreachable instead of wrong.
+const StoreSchemaVersion = 1
+
+// OpenStore opens (creating if needed) a persistent result store rooted
+// at dir, addressed with the run-plane's current result schema.
+func OpenStore(dir string) (*store.Store, error) {
+	return store.Open(dir, StoreSchemaVersion)
+}
+
+// SetStore attaches a persistent store as the Runner's second cache
+// tier: lookups fall through the in-memory map to the store, and every
+// executed scenario is persisted. Attach it before submitting work.
+// Entries are shared across processes and runs — the store never
+// invalidates, because identical fingerprints produce identical results.
+func (r *Runner) SetStore(st *store.Store) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.store = st
+}
+
+// Store returns the attached persistent store (nil when none).
+func (r *Runner) Store() *store.Store {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.store
+}
+
+// storedEntry is the persisted form of one scenario's Result. The
+// fields Result excludes from JSON on purpose (Events is a property of
+// the simulator, Profile and CritPath live in sidecars) are first-class
+// here, so a store hit reconstructs the full in-memory Result — and
+// -profile/-critpath replays against a warm store are free.
+type storedEntry struct {
+	Fingerprint string           `json:"fingerprint"`
+	Events      uint64           `json:"events"`
+	Result      Result           `json:"result"`
+	Profile     *obs.Profile     `json:"profile,omitempty"`
+	CritPath    *critpath.Report `json:"critpath,omitempty"`
+}
+
+// result reassembles the in-memory Result from a decoded entry.
+func (e *storedEntry) result() Result {
+	res := e.Result
+	res.Events = e.Events
+	res.Profile = e.Profile
+	res.CritPath = e.CritPath
+	return res
+}
+
+// encodeStored serializes a Result for the store.
+func encodeStored(fp string, res Result) ([]byte, error) {
+	e := storedEntry{
+		Fingerprint: fp,
+		Events:      res.Events,
+		Result:      res,
+		Profile:     res.Profile,
+		CritPath:    res.CritPath,
+	}
+	return json.Marshal(e)
+}
+
+// decodeStored parses a stored payload and verifies it echoes the
+// requested fingerprint — the guard against an (astronomically
+// unlikely) content-address collision or a misfiled entry.
+func decodeStored(data []byte, fp string) (*storedEntry, error) {
+	var e storedEntry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, fmt.Errorf("runner: stored entry undecodable: %w", err)
+	}
+	if e.Fingerprint != fp {
+		return nil, fmt.Errorf("runner: stored entry fingerprint mismatch (got %q)", e.Fingerprint)
+	}
+	return &e, nil
+}
+
+// runTiered resolves one claimed fingerprint through the store tier:
+// decode a servable entry, or take the cross-process lock, simulate,
+// and persist. Checking always simulates (the simcheck audit needs the
+// live cluster, not a decoded result); profiling/critpath requests are
+// served from the store only when the entry carries the corresponding
+// record, and an execution forced by a missing record rewrites the
+// entry with the record added (read-merge keeps the other one).
+func (r *Runner) runTiered(s Scenario, fp string, st *store.Store, profiled, checked, critpathOn bool) (Result, error) {
+	var release func()
+	if st != nil {
+		if res, ok := r.tryLoad(st, fp, profiled, checked, critpathOn, false); ok {
+			return res, nil
+		}
+		// Cross-process singleflight: take the key's lock, or wait for
+		// the holder and decode the entry it persisted (holders persist
+		// before releasing, so a clean release means the entry is there).
+		// Both the wait and the stale-steal inside TryLock are bounded —
+		// worst case we simulate without the lock, which is merely
+		// duplicated work installing identical bytes. Re-checks after
+		// waiting or winning the lock are quiet so one submission counts
+		// at most one store miss.
+		deadline := time.Now().Add(st.LockWait())
+		for release == nil {
+			rel, ok := st.TryLock(fp)
+			if ok {
+				release = rel
+				// Another process may have persisted and released between
+				// our first load and the lock; serve that entry.
+				if res, ok := r.tryLoad(st, fp, profiled, checked, critpathOn, true); ok {
+					release()
+					return res, nil
+				}
+				break
+			}
+			if !st.WaitUnlocked(fp, deadline) {
+				break // stuck or stale holder: simulate without the lock
+			}
+			if res, ok := r.tryLoad(st, fp, profiled, checked, critpathOn, true); ok {
+				return res, nil
+			}
+		}
+	}
+	res, err := r.executeCounted(s, profiled, checked, critpathOn)
+	if err == nil && st != nil {
+		r.persist(st, fp, res)
+	}
+	if release != nil {
+		release()
+	}
+	return res, err
+}
+
+// tryLoad attempts to serve fp from the store. Checking bypasses reads
+// entirely (the audit needs a live simulation); a corrupt container or
+// undecodable payload counts corrupt and falls back to simulation (the
+// rewrite repairs the entry). A quiet load is a singleflight re-check:
+// it never counts a miss — the submission already counted one — and
+// reads through Peek so the store's own counters stay per-submission.
+func (r *Runner) tryLoad(st *store.Store, fp string, profiled, checked, critpathOn, quiet bool) (Result, bool) {
+	if checked {
+		return Result{}, false
+	}
+	var data []byte
+	var err error
+	if quiet {
+		data, err = st.Peek(fp)
+	} else {
+		data, err = st.Get(fp)
+	}
+	if err != nil {
+		if !quiet {
+			r.mu.Lock()
+			if errors.Is(err, store.ErrCorrupt) {
+				r.stats.StoreCorrupt++
+			}
+			r.stats.StoreMisses++
+			r.mu.Unlock()
+		}
+		return Result{}, false
+	}
+	e, err := decodeStored(data, fp)
+	if err != nil {
+		// Payload-level corruption is real whichever load saw it.
+		st.Invalidate(fp)
+		r.mu.Lock()
+		r.stats.StoreCorrupt++
+		if !quiet {
+			r.stats.StoreMisses++
+		}
+		r.mu.Unlock()
+		return Result{}, false
+	}
+	if (profiled && e.Profile == nil) || (critpathOn && e.CritPath == nil) {
+		// The entry predates the requested observer record; simulate with
+		// the observer attached and upgrade the entry.
+		if !quiet {
+			r.mu.Lock()
+			r.stats.StoreMisses++
+			r.mu.Unlock()
+		}
+		return Result{}, false
+	}
+	r.mu.Lock()
+	r.stats.StoreHits++
+	r.mu.Unlock()
+	return e.result(), true
+}
+
+// persist writes res under fp, carrying forward any observer record the
+// existing entry has that this execution did not produce (results are
+// deterministic, so records from different executions are coherent).
+// Persistence is best-effort: an encode or write failure leaves the
+// store cold for this key, never wrong.
+func (r *Runner) persist(st *store.Store, fp string, res Result) {
+	if res.Profile == nil || res.CritPath == nil {
+		if data, err := st.Peek(fp); err == nil {
+			if prior, err := decodeStored(data, fp); err == nil {
+				if res.Profile == nil {
+					res.Profile = prior.Profile
+				}
+				if res.CritPath == nil {
+					res.CritPath = prior.CritPath
+				}
+			}
+		}
+	}
+	data, err := encodeStored(fp, res)
+	if err != nil {
+		return
+	}
+	if st.Put(fp, data) == nil {
+		r.mu.Lock()
+		r.stats.StoreWrites++
+		r.mu.Unlock()
+	}
+}
