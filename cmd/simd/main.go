@@ -1,0 +1,106 @@
+// Command simd serves the run-plane over HTTP: simulation as a service.
+//
+// Clients POST batches of scenario requests to /simulate and read results
+// back as an NDJSON stream, one line per scenario in completion order.
+// Every request resolves to the run-plane's canonical fingerprint and is
+// served through the cache tiers — in-memory map, persistent store, then
+// simulation — with duplicate in-flight requests coalesced across
+// clients, a bounded admission queue (429 + Retry-After under pressure),
+// and per-client token-bucket rate limits. /statusz reports the serving,
+// run-plane, and store counters; SIGINT/SIGTERM drains gracefully.
+//
+//	simd -store /var/cache/clustersoc          # durable, shared answers
+//	simd -addr :9000 -rate 50 -burst 100       # rate-limited public face
+//	curl -d '{"requests":[{"workload":"cg"}]}' localhost:8080/simulate
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"clustersoc/internal/runner"
+	"clustersoc/internal/simd"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		storeDir   = flag.String("store", os.Getenv("CLUSTERSOC_STORE"), "persistent content-addressed result store directory (default $CLUSTERSOC_STORE); strongly recommended: it makes every answer durable and shared across replicas")
+		parallel   = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		maxPending = flag.Int("max-pending", 256, "admission bound: max admitted-but-unfinished scenarios before batches get 429")
+		maxBatch   = flag.Int("max-batch", 0, "max scenarios per POST (0 = max-pending)")
+		rate       = flag.Float64("rate", 0, "per-client rate limit in scenario requests/s (0 = unlimited)")
+		burst      = flag.Int("burst", 0, "per-client burst size (0 = max(1, rate))")
+		drainWait  = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight streams on shutdown")
+	)
+	flag.Parse()
+
+	r := runner.New(*parallel)
+	if *storeDir != "" {
+		st, err := runner.OpenStore(*storeDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simd:", err)
+			os.Exit(1)
+		}
+		r.SetStore(st)
+	}
+	s, err := simd.NewServer(simd.Config{
+		Runner:     r,
+		MaxPending: *maxPending,
+		MaxBatch:   *maxBatch,
+		RatePerSec: *rate,
+		Burst:      *burst,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simd:", err)
+		os.Exit(1)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe() }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	fmt.Fprintf(os.Stderr, "simd: serving on %s (%d workers", *addr, r.Workers())
+	if ps := r.Store(); ps != nil {
+		fmt.Fprintf(os.Stderr, ", store %s schema %d", ps.Dir(), ps.Schema())
+	}
+	fmt.Fprintln(os.Stderr, ")")
+
+	select {
+	case err := <-done:
+		// The listener failed before any signal (bad address, port taken).
+		fmt.Fprintln(os.Stderr, "simd:", err)
+		os.Exit(1)
+	case got := <-sig:
+		fmt.Fprintf(os.Stderr, "simd: %s — draining (up to %s for in-flight streams)\n", got, *drainWait)
+	}
+
+	// Drain: stop admitting, then let http.Server.Shutdown wait for the
+	// active NDJSON streams to finish.
+	s.Drain()
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "simd: drain timeout exceeded, aborting in-flight streams:", err)
+	}
+	if err := <-done; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "simd:", err)
+	}
+
+	st := r.Stats()
+	fmt.Fprintf(os.Stderr, "run-plane: %d scenarios submitted, %d simulated, %d duplicates served from cache (%d workers, peak %d in flight, %.1fs simulation wall)\n",
+		st.Submitted, st.Simulated, st.Hits, r.Workers(), st.MaxInFlight, st.WallSeconds)
+	if ps := r.Store(); ps != nil {
+		fmt.Fprintf(os.Stderr, "store: %d hits, %d misses, %d writes, %d corrupt (%s, schema %d)\n",
+			st.StoreHits, st.StoreMisses, st.StoreWrites, st.StoreCorrupt, ps.Dir(), ps.Schema())
+	}
+}

@@ -66,6 +66,16 @@ func (s *Session) SetStore(st *store.Store) { s.r.SetStore(st) }
 // sorted by scenario fingerprint.
 func (s *Session) CritPathReports() []*critpath.Report { return s.r.Reports() }
 
+// NewScenario validates and normalizes a run request into the canonical
+// runner.Scenario exactly the way Session.Run does: the workload must be
+// registered, GPU workloads require a GPU, and RanksPerNode is derived
+// from the workload (clamped by the node's core count). Front ends that
+// accept serialized requests (cmd/simd) resolve through this so their
+// fingerprints land on the same cache entries the library face warms.
+func NewScenario(cfg cluster.Config, workload string, wcfg workloads.Config) (runner.Scenario, error) {
+	return scenario(cfg, workload, wcfg)
+}
+
 // scenario validates and normalizes a run request the way core.Run does.
 func scenario(cfg cluster.Config, workload string, wcfg workloads.Config) (runner.Scenario, error) {
 	w, err := workloads.ByName(workload)

@@ -97,6 +97,18 @@ func tx1Scenario(w workloads.Workload, n int, prof network.Profile, scale float6
 	return runner.Scenario{Cluster: cfg, Workload: w.Name(), Config: workloads.Config{Scale: scale}}
 }
 
+// StandardScenario declares the canonical TX1 run the figure generators
+// declare for (workload, nodes, NIC, scale) — same fingerprint, so a
+// store warmed by one artifact regeneration serves any front end
+// (cmd/simd, the test suites) requesting the same scenario.
+func StandardScenario(workload string, nodes int, prof network.Profile, scale float64) (runner.Scenario, error) {
+	w, err := workloads.ByName(workload)
+	if err != nil {
+		return runner.Scenario{}, err
+	}
+	return tx1Scenario(w, nodes, prof, scale), nil
+}
+
 // TracedScenario declares a workload's standard TX1 run with trace
 // recording enabled — the scenario behind cmd/experiments -trace-out.
 // Traced participates in the cluster fingerprint, so it never collides

@@ -137,6 +137,27 @@ type Stats struct {
 	StoreCorrupt int
 }
 
+// Snapshot renders the run-plane accounting as a "runner"-scoped obs
+// snapshot. The scope is NonDeterministic — cache contents and wall
+// times are host-side diagnostics — so these metrics merge cleanly with
+// the store's snapshot for a service's /statusz without ever entering
+// byte-compared artifacts.
+func (s Stats) Snapshot() obs.Snapshot {
+	reg := obs.NewRegistry()
+	sc := reg.Scope("runner").NonDeterministic()
+	sc.Counter("submitted").Add(float64(s.Submitted))
+	sc.Counter("hit").Add(float64(s.Hits))
+	sc.Counter("simulated").Add(float64(s.Simulated))
+	sc.Counter("audited").Add(float64(s.Audited))
+	sc.Counter("wall_seconds").Add(s.WallSeconds)
+	sc.Gauge("max_in_flight").Set(float64(s.MaxInFlight))
+	sc.Counter("store_hit").Add(float64(s.StoreHits))
+	sc.Counter("store_miss").Add(float64(s.StoreMisses))
+	sc.Counter("store_write").Add(float64(s.StoreWrites))
+	sc.Counter("store_corrupt").Add(float64(s.StoreCorrupt))
+	return reg.Snapshot()
+}
+
 // entry is one memoized scenario. The first submitter executes and
 // closes done; later submitters of the same fingerprint block on done
 // and share the result.
@@ -144,6 +165,33 @@ type entry struct {
 	done chan struct{}
 	res  Result
 	err  error
+	// source records how the entry was resolved by its first submitter
+	// (SourceStore or SourceSimulated), for Outcome reporting.
+	source string
+}
+
+// Sources an Outcome can report: which tier served the submission.
+const (
+	// SourceMemory: served by the in-memory fingerprint map — either a
+	// completed cached entry or a join on a run already in flight.
+	SourceMemory = "memory"
+	// SourceStore: served by decoding a persistent-store entry.
+	SourceStore = "store"
+	// SourceSimulated: this submission executed the simulation.
+	SourceSimulated = "simulated"
+)
+
+// Outcome describes how one submission was resolved — the per-request
+// accounting a serving front end (cmd/simd) reports back to its clients,
+// where Stats only aggregates.
+type Outcome struct {
+	// Source is the tier that produced this submission's bytes:
+	// SourceMemory, SourceStore, or SourceSimulated.
+	Source string `json:"source"`
+	// Coalesced reports that the submission joined an entry another
+	// submission had already installed (completed or still in flight) —
+	// the duplicate-request singleflight at work.
+	Coalesced bool `json:"coalesced,omitempty"`
 }
 
 // Runner is a concurrent, memoizing scenario executor. It is safe for
@@ -164,6 +212,12 @@ type Runner struct {
 	// store is the optional persistent second tier (SetStore): lookups
 	// fall through the in-memory map to it, executions persist into it.
 	store *store.Store
+
+	// persistPrePut/persistPreVerify are test-only interleaving hooks in
+	// the persist path (between the merge peek and the Put, and before
+	// each post-Put verification read); nil outside the tests.
+	persistPrePut    func()
+	persistPreVerify func()
 }
 
 // New returns a Runner executing at most workers simulations
@@ -288,6 +342,14 @@ func (r *Runner) Stats() Stats {
 // in flight, or decodes it from the persistent store) and returns its
 // measurements.
 func (r *Runner) Run(s Scenario) (Result, error) {
+	res, _, err := r.RunTracked(s)
+	return res, err
+}
+
+// RunTracked is Run with per-submission accounting: the Outcome reports
+// which cache tier served the submission and whether it coalesced onto
+// another submission's entry. The Result is identical to Run's.
+func (r *Runner) RunTracked(s Scenario) (Result, Outcome, error) {
 	fp := s.Fingerprint()
 	r.mu.Lock()
 	r.stats.Submitted++
@@ -295,7 +357,7 @@ func (r *Runner) Run(s Scenario) (Result, error) {
 		r.stats.Hits++
 		r.mu.Unlock()
 		<-e.done
-		return e.res, e.err
+		return e.res, Outcome{Source: SourceMemory, Coalesced: true}, e.err
 	}
 	e := &entry{done: make(chan struct{})}
 	r.cache[fp] = e
@@ -306,10 +368,10 @@ func (r *Runner) Run(s Scenario) (Result, error) {
 	profiled, checked, critpathOn := r.profiling, r.checking, r.critpath
 	st := r.store
 	r.mu.Unlock()
-	e.res, e.err = r.runTiered(s, fp, st, profiled, checked, critpathOn)
+	e.res, e.source, e.err = r.runTiered(s, fp, st, profiled, checked, critpathOn)
 	<-r.sem
 	close(e.done)
-	return e.res, e.err
+	return e.res, Outcome{Source: e.source}, e.err
 }
 
 // executeCounted runs one scenario through the executor with the

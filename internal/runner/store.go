@@ -105,11 +105,11 @@ func decodeStored(data []byte, fp string) (*storedEntry, error) {
 // served from the store only when the entry carries the corresponding
 // record, and an execution forced by a missing record rewrites the
 // entry with the record added (read-merge keeps the other one).
-func (r *Runner) runTiered(s Scenario, fp string, st *store.Store, profiled, checked, critpathOn bool) (Result, error) {
+func (r *Runner) runTiered(s Scenario, fp string, st *store.Store, profiled, checked, critpathOn bool) (Result, string, error) {
 	var release func()
 	if st != nil {
 		if res, ok := r.tryLoad(st, fp, profiled, checked, critpathOn, false); ok {
-			return res, nil
+			return res, SourceStore, nil
 		}
 		// Cross-process singleflight: take the key's lock, or wait for
 		// the holder and decode the entry it persisted (holders persist
@@ -119,6 +119,13 @@ func (r *Runner) runTiered(s Scenario, fp string, st *store.Store, profiled, che
 		// duplicated work installing identical bytes. Re-checks after
 		// waiting or winning the lock are quiet so one submission counts
 		// at most one store miss.
+		//
+		// The loop itself consults the deadline: TryLock can fail without
+		// leaving a lock file on disk (read-only or full store directory,
+		// a store in read-only mode), in which case WaitUnlocked returns
+		// true immediately and the load keeps missing — without the
+		// deadline check (and the no-holder fast path below) that spun
+		// forever.
 		deadline := time.Now().Add(st.LockWait())
 		for release == nil {
 			rel, ok := st.TryLock(fp)
@@ -128,26 +135,35 @@ func (r *Runner) runTiered(s Scenario, fp string, st *store.Store, profiled, che
 				// our first load and the lock; serve that entry.
 				if res, ok := r.tryLoad(st, fp, profiled, checked, critpathOn, true); ok {
 					release()
-					return res, nil
+					return res, SourceStore, nil
 				}
 				break
+			}
+			if time.Now().After(deadline) {
+				break // out of patience: simulate without the lock
 			}
 			if !st.WaitUnlocked(fp, deadline) {
 				break // stuck or stale holder: simulate without the lock
 			}
 			if res, ok := r.tryLoad(st, fp, profiled, checked, critpathOn, true); ok {
-				return res, nil
+				return res, SourceStore, nil
+			}
+			if !st.Locked(fp) {
+				// TryLock failed, yet no lock file exists and there is no
+				// entry to serve: the filesystem is refusing locks, and
+				// there is no holder to wait for. Simulate without one.
+				break
 			}
 		}
 	}
 	res, err := r.executeCounted(s, profiled, checked, critpathOn)
 	if err == nil && st != nil {
-		r.persist(st, fp, res)
+		r.persist(st, fp, res, release != nil)
 	}
 	if release != nil {
 		release()
 	}
-	return res, err
+	return res, SourceSimulated, err
 }
 
 // tryLoad attempts to serve fp from the store. Checking bypasses reads
@@ -211,8 +227,32 @@ func (r *Runner) tryLoad(st *store.Store, fp string, profiled, checked, critpath
 // deterministic, so records from different executions are coherent).
 // Persistence is best-effort: an encode or write failure leaves the
 // store cold for this key, never wrong.
-func (r *Runner) persist(st *store.Store, fp string, res Result) {
-	if res.Profile == nil || res.CritPath == nil {
+//
+// The read-merge is a check-then-act, so two concurrent upgraders (one
+// adding a Profile, one adding a CritPath) could each Peek before the
+// other's Put and the last writer would drop the other's record. Three
+// defenses close that: writers that do not already hold the key's
+// singleflight lock take it here when it is free, serializing the merge;
+// the merge re-peeks immediately before the Put; and after the Put the
+// writer re-reads the entry and, on a detected downgrade (the current
+// entry lacking a record this writer knows about), re-merges and
+// rewrites. Two writers that both fail to take the lock can still in
+// principle interleave pathologically — the residual loss is an optional
+// observer record (regenerable, never a wrong result), and every rewrite
+// converges toward the union.
+func (r *Runner) persist(st *store.Store, fp string, res Result, locked bool) {
+	if !locked {
+		if rel, ok := st.TryLock(fp); ok {
+			locked = true
+			defer rel()
+		}
+	}
+	// Re-peek and merge (under the key lock when we hold it): fill the
+	// records this execution did not produce from the current entry.
+	merge := func() {
+		if res.Profile != nil && res.CritPath != nil {
+			return
+		}
 		if data, err := st.Peek(fp); err == nil {
 			if prior, err := decodeStored(data, fp); err == nil {
 				if res.Profile == nil {
@@ -224,13 +264,53 @@ func (r *Runner) persist(st *store.Store, fp string, res Result) {
 			}
 		}
 	}
-	data, err := encodeStored(fp, res)
-	if err != nil {
-		return
-	}
-	if st.Put(fp, data) == nil {
+	write := func() bool {
+		data, err := encodeStored(fp, res)
+		if err != nil {
+			return false
+		}
+		if st.Put(fp, data) != nil {
+			return false
+		}
 		r.mu.Lock()
 		r.stats.StoreWrites++
 		r.mu.Unlock()
+		return true
+	}
+	merge()
+	if r.persistPrePut != nil {
+		r.persistPrePut()
+	}
+	if !write() {
+		return
+	}
+	// Downgrade detection: if a concurrent writer replaced the entry with
+	// one missing a record we hold, merge its records with ours and
+	// rewrite. Bounded — each pass only fires when the entry on disk
+	// lost information relative to this writer.
+	for attempt := 0; attempt < 4; attempt++ {
+		if r.persistPreVerify != nil {
+			r.persistPreVerify()
+		}
+		data, err := st.Peek(fp)
+		if err != nil {
+			return // unreadable or gone: nothing to verify against
+		}
+		cur, err := decodeStored(data, fp)
+		if err != nil {
+			return
+		}
+		if (res.Profile == nil || cur.Profile != nil) && (res.CritPath == nil || cur.CritPath != nil) {
+			return // the installed entry covers every record we know about
+		}
+		if res.Profile == nil {
+			res.Profile = cur.Profile
+		}
+		if res.CritPath == nil {
+			res.CritPath = cur.CritPath
+		}
+		if !write() {
+			return
+		}
 	}
 }

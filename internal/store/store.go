@@ -62,6 +62,10 @@ var ErrMiss = errors.New("store: entry not present")
 // Callers treat it as a miss and rewrite it.
 var ErrCorrupt = errors.New("store: entry corrupt")
 
+// ErrReadOnly reports a mutation declined by a read-only store
+// (SetReadOnly): the entry was not written, the disk is untouched.
+var ErrReadOnly = errors.New("store: read-only")
+
 // Counters is a snapshot of the store's accounting.
 type Counters struct {
 	// Hits counts Gets that returned a verified payload.
@@ -82,9 +86,14 @@ type Store struct {
 	dir    string
 	schema int
 
-	lockWait   time.Duration
-	poll       time.Duration
-	staleAfter time.Duration
+	// The lock-protocol knobs are atomic durations (nanoseconds): the
+	// Set* methods may be called while other goroutines are inside
+	// TryLock/WaitUnlocked — a long-running server reconfiguring a Store
+	// shared across request goroutines — and plain fields would race.
+	lockWait   atomic.Int64
+	poll       atomic.Int64
+	staleAfter atomic.Int64
+	readOnly   atomic.Bool
 
 	hits    atomic.Uint64
 	misses  atomic.Uint64
@@ -104,13 +113,11 @@ func Open(dir string, schema int) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	return &Store{
-		dir:        dir,
-		schema:     schema,
-		lockWait:   60 * time.Second,
-		poll:       10 * time.Millisecond,
-		staleAfter: 10 * time.Minute,
-	}, nil
+	s := &Store{dir: dir, schema: schema}
+	s.lockWait.Store(int64(60 * time.Second))
+	s.poll.Store(int64(10 * time.Millisecond))
+	s.staleAfter.Store(int64(10 * time.Minute))
+	return s, nil
 }
 
 // Dir returns the store's root directory.
@@ -121,18 +128,39 @@ func (s *Store) Schema() int { return s.schema }
 
 // LockWait returns how long a caller should wait on another process's
 // per-key lock before giving up and simulating without it.
-func (s *Store) LockWait() time.Duration { return s.lockWait }
+func (s *Store) LockWait() time.Duration { return time.Duration(s.lockWait.Load()) }
 
 // SetLockWait bounds the singleflight wait on a foreign lock. Past the
 // bound callers proceed without the lock (correct, just duplicated work).
-func (s *Store) SetLockWait(d time.Duration) { s.lockWait = d }
+// Safe to call while other goroutines use the store.
+func (s *Store) SetLockWait(d time.Duration) { s.lockWait.Store(int64(d)) }
 
-// SetPollInterval sets the lock-wait polling period.
-func (s *Store) SetPollInterval(d time.Duration) { s.poll = d }
+// PollInterval returns the lock-wait polling period.
+func (s *Store) PollInterval() time.Duration { return time.Duration(s.poll.Load()) }
+
+// SetPollInterval sets the lock-wait polling period. Safe to call while
+// other goroutines use the store.
+func (s *Store) SetPollInterval(d time.Duration) { s.poll.Store(int64(d)) }
+
+// StaleLockAfter returns the age past which a lock file is presumed
+// abandoned.
+func (s *Store) StaleLockAfter() time.Duration { return time.Duration(s.staleAfter.Load()) }
 
 // SetStaleLockAfter sets the age past which a lock file is presumed
-// abandoned by a dead process and is stolen.
-func (s *Store) SetStaleLockAfter(d time.Duration) { s.staleAfter = d }
+// abandoned by a dead process and is stolen. Safe to call while other
+// goroutines use the store.
+func (s *Store) SetStaleLockAfter(d time.Duration) { s.staleAfter.Store(int64(d)) }
+
+// SetReadOnly switches the store into (or out of) read-only mode: Get
+// and Peek serve entries as usual, while Put and Invalidate return
+// ErrReadOnly (or silently decline) and TryLock refuses to create lock
+// files. Replicas serving a shared warm store they must not scribble on
+// (a read-only mount, an operator-frozen cache) run in this mode; the
+// run-plane falls through to simulation for anything the store lacks.
+func (s *Store) SetReadOnly(on bool) { s.readOnly.Store(on) }
+
+// ReadOnly reports whether the store declines mutations.
+func (s *Store) ReadOnly() bool { return s.readOnly.Load() }
 
 // address returns the content address of key under the store's schema:
 // the hex SHA-256 of (container version, schema version, key), sharded
@@ -234,6 +262,9 @@ func (s *Store) Peek(key string) ([]byte, error) { return s.read(key) }
 // readers observe either the old entry, the new one, or none — never a
 // torn write. Re-putting a key replaces its entry.
 func (s *Store) Put(key string, payload []byte) error {
+	if s.ReadOnly() {
+		return ErrReadOnly
+	}
 	shard, _ := s.address(key)
 	if err := os.MkdirAll(shard, 0o755); err != nil {
 		return fmt.Errorf("store: %w", err)
@@ -267,6 +298,9 @@ func (s *Store) Put(key string, payload []byte) error {
 // manually edited entry).
 func (s *Store) Invalidate(key string) {
 	s.corrupt.Add(1)
+	if s.ReadOnly() {
+		return
+	}
 	os.Remove(s.entryPath(key))
 }
 
@@ -277,6 +311,9 @@ func (s *Store) Invalidate(key string) {
 // avoid duplicate work — losing a race on a stale steal at worst
 // simulates a scenario twice, and both writers install identical bytes.
 func (s *Store) TryLock(key string) (release func(), ok bool) {
+	if s.ReadOnly() {
+		return nil, false
+	}
 	shard, _ := s.address(key)
 	if err := os.MkdirAll(shard, 0o755); err != nil {
 		return nil, false
@@ -296,7 +333,7 @@ func (s *Store) TryLock(key string) (release func(), ok bool) {
 		if statErr != nil {
 			continue // holder released between open and stat: retry
 		}
-		if time.Since(info.ModTime()) < s.staleAfter {
+		if time.Since(info.ModTime()) < s.StaleLockAfter() {
 			return nil, false // live holder
 		}
 		os.Remove(path) // stale: steal and retry the exclusive create
@@ -315,8 +352,17 @@ func (s *Store) WaitUnlocked(key string, deadline time.Time) bool {
 		if time.Now().After(deadline) {
 			return false
 		}
-		time.Sleep(s.poll)
+		time.Sleep(s.PollInterval())
 	}
+}
+
+// Locked reports whether key's lock file currently exists. A failed
+// TryLock with Locked false means no holder stands between the caller
+// and the lock — the filesystem itself is refusing (read-only, full, or
+// the store is in read-only mode) — so there is nobody to wait for.
+func (s *Store) Locked(key string) bool {
+	_, err := os.Stat(s.lockPath(key))
+	return err == nil
 }
 
 // Counters returns a snapshot of the store's accounting.
